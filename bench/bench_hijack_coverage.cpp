@@ -1,0 +1,80 @@
+// E4 — Coverage of real-world hijack durations (paper §1: ">20% of
+// hijacks last < 10 mins" per Argus/IMC'12; §3: ARTEMIS's ~6 min cycle
+// "is smaller than the duration of > 80% of the hijacking cases", while
+// legacy pipelines miss every short-lived event).
+//
+// Draws hijack durations from the Argus-calibrated log-normal model and
+// reports, per pipeline, the fraction of hijacks still active when the
+// pipeline completes mitigation (= the events the pipeline can actually
+// defend against), using the end-to-end times measured in E3's setup.
+#include "baseline/hijack_duration.hpp"
+#include "bench_common.hpp"
+
+using namespace artemis;
+using namespace artemis::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  print_header("E4", "fraction of hijack events each pipeline mitigates in time",
+               ">20% of hijacks < 10 min; ARTEMIS (~6 min) beats >80% of durations; "
+               "~80 min manual reaction beats far fewer");
+
+  const baseline::HijackDurationModel model;
+  std::printf("duration model checkpoints (log-normal, Argus-calibrated):\n");
+  TextTable cdf_table({"duration", "CDF = P(hijack shorter)"});
+  for (const double minutes : {1.0, 6.0, 10.0, 35.0, 80.0, 240.0, 1440.0}) {
+    cdf_table.add_row({SimDuration::minutes(minutes).to_string(),
+                       TextTable::num(model.cdf(SimDuration::minutes(minutes)), 3)});
+  }
+  std::printf("%s\n", cdf_table.to_string().c_str());
+
+  // Measure ARTEMIS end-to-end times across trials; legacy reaction times
+  // use the paper's motivating numbers (data lag + human loop).
+  Summary artemis_total;
+  for (int trial = 0; trial < args.trials; ++trial) {
+    Scenario scenario(args, static_cast<std::uint64_t>(trial));
+    const auto result = scenario.run();
+    if (result.total_duration()) artemis_total.add(result.total_duration()->as_seconds());
+  }
+
+  struct Pipeline {
+    std::string name;
+    double total_seconds;
+  };
+  std::vector<Pipeline> pipelines{
+      {"artemis (measured mean)", artemis_total.mean()},
+      {"artemis (measured p90)", artemis_total.percentile(90)},
+      {"manual reaction ~80 min (YouTube)", 80.0 * 60.0},
+      {"batch-15m + human loop (~60 min)", 60.0 * 60.0},
+      {"rib-2h + human loop (~3 h)", 180.0 * 60.0},
+  };
+
+  // Analytic coverage (exact CDF) and Monte-Carlo cross-check.
+  Rng rng(args.seed);
+  const int samples = 200000;
+  TextTable table({"pipeline", "reaction time", "covered (analytic)",
+                   "covered (sampled)"});
+  for (const auto& pipeline : pipelines) {
+    const auto reaction = SimDuration::seconds(pipeline.total_seconds);
+    const double analytic = 1.0 - model.cdf(reaction);
+    int covered = 0;
+    auto mc_rng = rng.fork(pipeline.name);
+    for (int i = 0; i < samples; ++i) {
+      if (model.sample(mc_rng) > reaction) ++covered;
+    }
+    table.add_row({pipeline.name, reaction.to_string(),
+                   TextTable::num(analytic * 100.0, 1) + "%",
+                   TextTable::num(100.0 * covered / samples, 1) + "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("CDF curve (25 points, for plotting the paper-style figure):\n");
+  for (int i = 1; i <= 25; ++i) {
+    const double q = static_cast<double>(i) / 26.0;
+    std::printf("  %5.1f%% of hijacks last <= %s\n", q * 100.0,
+                model.quantile(q).to_string().c_str());
+  }
+  std::printf("\nshape check: ARTEMIS covers ~80%% of hijack durations; the ~80 min "
+              "manual loop covers roughly a third; slower pipelines even less.\n");
+  return 0;
+}

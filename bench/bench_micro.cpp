@@ -1,0 +1,168 @@
+// E7 — Systems microbenchmarks (google-benchmark): throughput of the
+// detection hot path and its substrates. Not a paper table; establishes
+// that the detection service sustains far more than a full Internet feed
+// (~10^2-10^3 updates/s at the collectors ARTEMIS subscribes to).
+#include <benchmark/benchmark.h>
+
+#include "artemis/detection.hpp"
+#include "bgp/rib.hpp"
+#include "json/json.hpp"
+#include "mrt/mrt.hpp"
+#include "mrt/stream_reader.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+using namespace artemis;
+
+namespace {
+
+net::Prefix random_prefix(Rng& rng, int min_len = 8, int max_len = 24) {
+  return net::Prefix(net::IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())),
+                     static_cast<int>(rng.uniform_int(min_len, max_len)));
+}
+
+void BM_PrefixParse(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 1024; ++i) texts.push_back(random_prefix(rng).to_string());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Prefix::parse(texts[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixParse);
+
+void BM_TrieInsert(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<net::Prefix> prefixes;
+  for (int i = 0; i < 1 << 16; ++i) prefixes.push_back(random_prefix(rng));
+  std::size_t i = 0;
+  net::PrefixTrie<int> trie;
+  for (auto _ : state) {
+    trie.insert(prefixes[i++ & 0xFFFF], 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieLpmLookup(benchmark::State& state) {
+  Rng rng(3);
+  net::PrefixTrie<int> trie;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    trie.insert(random_prefix(rng), static_cast<int>(i));
+  }
+  std::vector<net::IpAddress> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(net::IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLpmLookup)->Arg(1000)->Arg(100000)->Arg(900000);
+
+bgp::UpdateMessage sample_update(Rng& rng) {
+  bgp::UpdateMessage u;
+  u.sender = 64500;
+  u.attrs.as_path = bgp::AsPath({64500, 3356, 1299, 65001});
+  u.announced = {random_prefix(rng), random_prefix(rng)};
+  u.withdrawn = {random_prefix(rng)};
+  return u;
+}
+
+void BM_MrtEncodeUpdate(benchmark::State& state) {
+  Rng rng(4);
+  mrt::UpdateRecord rec;
+  rec.peer_asn = 64500;
+  rec.update = sample_update(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrt::encode_update_record(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MrtEncodeUpdate);
+
+void BM_MrtDecodeElems(benchmark::State& state) {
+  Rng rng(5);
+  mrt::ByteWriter stream;
+  const int records = 256;
+  for (int i = 0; i < records; ++i) {
+    mrt::UpdateRecord rec;
+    rec.peer_asn = 64500;
+    rec.update = sample_update(rng);
+    stream.bytes(mrt::encode_update_record(rec));
+  }
+  std::size_t elems = 0;
+  for (auto _ : state) {
+    elems = mrt::read_elems(stream.data()).size();
+    benchmark::DoNotOptimize(elems);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(elems));
+}
+BENCHMARK(BM_MrtDecodeElems);
+
+void BM_DetectionProcess(benchmark::State& state) {
+  // Worst-case-ish mix: 1 in 16 observations overlaps the owned prefix.
+  core::Config config;
+  core::OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  core::DetectionService detector(config);
+
+  Rng rng(6);
+  std::vector<feeds::Observation> observations;
+  for (int i = 0; i < 4096; ++i) {
+    feeds::Observation obs;
+    obs.type = feeds::ObservationType::kAnnouncement;
+    obs.source = "bench";
+    obs.vantage = 9;
+    obs.prefix = (i % 16 == 0) ? net::Prefix::must_parse("10.0.0.0/23")
+                               : random_prefix(rng);
+    obs.attrs.as_path = bgp::AsPath({9, 3356, 65001});
+    observations.push_back(std::move(obs));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    detector.process(observations[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectionProcess);
+
+void BM_JsonParseConfig(benchmark::State& state) {
+  const std::string text = R"({
+    "prefixes": [
+      {"prefix": "10.0.0.0/23", "origins": [65001], "neighbors": [174, 3356]},
+      {"prefix": "192.0.2.0/24", "origins": [65001, 65002]}
+    ],
+    "mitigation": {"deaggregation_floor": 24, "reannounce_exact": true}
+  })";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Config::from_json_text(text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsonParseConfig);
+
+void BM_BetterRoute(benchmark::State& state) {
+  bgp::Route a;
+  a.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  a.attrs.as_path = bgp::AsPath({1, 2, 3});
+  a.attrs.local_pref = 200;
+  bgp::Route b = a;
+  b.attrs.as_path = bgp::AsPath({4, 5, 6, 7});
+  b.learned_from = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::better_route(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BetterRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E8 (extension) — Prevention vs detection (paper §1: "since its
+// prevention is not always possible, mechanisms for its detection and
+// mitigation are needed").
+//
+// The prevention mechanism is RPKI route-origin validation. This bench
+// quantifies the paper's premise: with *partial* ROV deployment the
+// hijack still captures a sizeable share of the Internet — ARTEMIS is
+// needed regardless — and even full ROV does nothing against a /24
+// sub-prefix... actually against forged-origin (Type-1) announcements.
+// Sweep: fraction of ASes enforcing ROV, with a ROA covering the victim
+// prefix. Reports the hijack's peak capture and ARTEMIS detection delay.
+#include "bench_common.hpp"
+#include "rpki/roa.hpp"
+
+using namespace artemis;
+using namespace artemis::bench;
+
+int main(int argc, char** argv) {
+  auto args = BenchArgs::parse(argc, argv);
+  args.trials = std::max(4, args.trials / 2);
+  print_header("E8", "RPKI route-origin validation (prevention) vs ARTEMIS (detection)",
+               "prevention is not always possible (§1): partial ROV leaves capture; "
+               "Type-1 forged origins evade ROV entirely");
+
+  TextTable table({"ROV deployment", "attack", "peak capture mean", "peak impact mean",
+                   "rov drops", "artemis detected"});
+  for (const double rov : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (const bool forged_origin : {false, true}) {
+      Summary capture;
+      Summary impact;
+      double drops = 0.0;
+      int detected = 0;
+      int trials = 0;
+      for (int trial = 0; trial < args.trials; ++trial) {
+        Scenario scenario(args, static_cast<std::uint64_t>(trial));
+        rpki::RoaTable roas;
+        rpki::Roa roa;
+        roa.prefix = scenario.params.victim_prefix;
+        roa.asn = scenario.params.victim;
+        roa.max_length = 24;  // authorize the mitigation /24s too
+        roas.add(roa);
+        scenario.net_params.roa_table = &roas;
+        scenario.net_params.rov_fraction = rov;
+        if (forged_origin) {
+          // Type-1: the attacker forges the victim as origin; ROV sees a
+          // VALID origin and waves it through.
+          scenario.params.forged_path =
+              bgp::AsPath({scenario.params.attacker, scenario.params.victim});
+          scenario.params.app.detection.detect_fake_first_hop = true;
+        }
+        scenario.params.horizon = SimDuration::minutes(15);
+
+        core::HijackExperiment experiment(scenario.graph, scenario.net_params,
+                                          scenario.params,
+                                          scenario.rng.fork("experiment"));
+        const auto result = experiment.run();
+        ++trials;
+        capture.add(result.max_hijacked_fraction * 100.0);
+        impact.add(result.max_hijacked_impact * 100.0);
+        drops += static_cast<double>(experiment.network().total_stats().rov_dropped);
+        if (result.detected_at) ++detected;
+      }
+      table.add_row({TextTable::num(rov * 100.0, 0) + "%",
+                     forged_origin ? "forged-origin (Type-1)" : "origin hijack",
+                     TextTable::num(capture.mean(), 1) + "%",
+                     TextTable::num(impact.mean(), 1) + "%",
+                     TextTable::num(drops / trials, 0),
+                     std::to_string(detected) + "/" + std::to_string(trials)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: origin-hijack capture shrinks as ROV deployment grows but "
+              "stays nonzero until (nearly) full deployment; the forged-origin attack "
+              "is untouched by ROV at every deployment level — detection (ARTEMIS) "
+              "remains necessary.\n");
+  return 0;
+}

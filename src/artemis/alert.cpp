@@ -1,0 +1,39 @@
+#include "artemis/alert.hpp"
+
+namespace artemis::core {
+
+std::string_view to_string(HijackType t) {
+  switch (t) {
+    case HijackType::kExactOrigin: return "exact-origin";
+    case HijackType::kSubPrefix: return "sub-prefix";
+    case HijackType::kSuperPrefix: return "super-prefix";
+    case HijackType::kFakeFirstHop: return "fake-first-hop";
+    case HijackType::kRpkiInvalid: return "rpki-invalid";
+  }
+  return "?";
+}
+
+std::string HijackAlert::dedup_key() const {
+  std::string key(core::to_string(type));
+  key += "|" + observed_prefix.to_string();
+  key += "|" + std::to_string(offender);
+  return key;
+}
+
+std::string HijackAlert::to_string() const {
+  std::string out = "ALERT[";
+  out += core::to_string(type);
+  out += "] ";
+  out += observed_prefix.to_string();
+  out += " (owned ";
+  out += owned_prefix.to_string();
+  out += ") offender AS";
+  out += std::to_string(offender);
+  out += " path [" + observed_path.to_string() + "]";
+  out += " via AS" + std::to_string(vantage);
+  out += "/" + source;
+  out += " at " + detected_at.to_string();
+  return out;
+}
+
+}  // namespace artemis::core

@@ -1,0 +1,49 @@
+// Hijack alerts: the detection service's output.
+#pragma once
+
+#include <string>
+
+#include "bgp/types.hpp"
+#include "feeds/observation.hpp"
+#include "netbase/prefix.hpp"
+#include "util/time.hpp"
+
+namespace artemis::core {
+
+/// Classification of the violation (the demo paper detects origin-AS
+/// violations; the -0/-1 taxonomy follows the authors' later work and is
+/// implemented as an extension — see DESIGN.md "Detection beyond the
+/// demo").
+enum class HijackType : std::uint8_t {
+  kExactOrigin,  ///< our exact prefix announced with a wrong origin AS
+  kSubPrefix,    ///< a more-specific of our prefix announced by anyone
+  kSuperPrefix,  ///< a covering prefix announced with a wrong origin
+  kFakeFirstHop, ///< correct origin but an illegitimate adjacent AS (Type-1)
+  kRpkiInvalid,  ///< announcement is RPKI-invalid against the loaded ROAs
+};
+
+std::string_view to_string(HijackType t);
+
+struct HijackAlert {
+  HijackType type = HijackType::kExactOrigin;
+  /// The owned prefix that matched.
+  net::Prefix owned_prefix;
+  /// The prefix actually observed (differs for sub/super-prefix hijacks).
+  net::Prefix observed_prefix;
+  /// The offending origin AS (for kFakeFirstHop: the fake neighbor).
+  bgp::Asn offender = bgp::kNoAsn;
+  bgp::AsPath observed_path;
+  /// Vantage point and feed that produced the first matching observation.
+  bgp::Asn vantage = bgp::kNoAsn;
+  std::string source;
+  /// When the vantage saw the offending route.
+  SimTime event_time;
+  /// When ARTEMIS raised the alert (= delivery time of the observation).
+  SimTime detected_at;
+
+  /// Key identifying "the same hijack" across repeated observations.
+  std::string dedup_key() const;
+  std::string to_string() const;
+};
+
+}  // namespace artemis::core

@@ -1,0 +1,22 @@
+#include "artemis/app.hpp"
+
+namespace artemis::core {
+
+ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn,
+                       AppOptions options)
+    : config_(std::move(config)) {
+  controller_ =
+      std::make_unique<SimController>(network, router_asn, options.controller_latency);
+  detection_ = std::make_unique<DetectionService>(config_, options.detection);
+  mitigation_ =
+      std::make_unique<MitigationService>(config_, *controller_, network.simulator());
+  monitoring_ = std::make_unique<MonitoringService>(config_);
+
+  detection_->attach(hub_);
+  monitoring_->attach(hub_);
+  if (config_.mitigation().auto_mitigate) {
+    mitigation_->attach(*detection_);
+  }
+}
+
+}  // namespace artemis::core

@@ -1,0 +1,54 @@
+// ArtemisApp: the assembled tool (Fig. 1 of the paper).
+//
+// Bundles the three services — detection, mitigation, monitoring — around
+// one MonitorHub and one Controller, wired exactly as the paper's
+// architecture diagram: feeds flow into the hub; detection consumes the
+// hub and triggers mitigation; monitoring consumes the same hub to track
+// the mitigation's effect.
+#pragma once
+
+#include <memory>
+
+#include "artemis/config.hpp"
+#include "artemis/controller.hpp"
+#include "artemis/detection.hpp"
+#include "artemis/mitigation.hpp"
+#include "artemis/monitoring.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "sim/network.hpp"
+
+namespace artemis::core {
+
+struct AppOptions {
+  DetectionOptions detection;
+  /// Controller command latency (paper: ~15 s to announce through ONOS).
+  SimDuration controller_latency = SimDuration::seconds(15);
+};
+
+class ArtemisApp {
+ public:
+  /// `router_asn` is the operator's AS whose routers the controller
+  /// commands (the paper's ASN-1).
+  ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn,
+             AppOptions options = {});
+
+  ArtemisApp(const ArtemisApp&) = delete;
+  ArtemisApp& operator=(const ArtemisApp&) = delete;
+
+  const Config& config() const { return config_; }
+  feeds::MonitorHub& hub() { return hub_; }
+  DetectionService& detection() { return *detection_; }
+  MitigationService& mitigation() { return *mitigation_; }
+  MonitoringService& monitoring() { return *monitoring_; }
+  SimController& controller() { return *controller_; }
+
+ private:
+  Config config_;
+  feeds::MonitorHub hub_;
+  std::unique_ptr<SimController> controller_;
+  std::unique_ptr<DetectionService> detection_;
+  std::unique_ptr<MitigationService> mitigation_;
+  std::unique_ptr<MonitoringService> monitoring_;
+};
+
+}  // namespace artemis::core

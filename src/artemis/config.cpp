@@ -1,0 +1,97 @@
+#include "artemis/config.hpp"
+
+#include <stdexcept>
+
+namespace artemis::core {
+
+void Config::add_owned(OwnedPrefix owned) {
+  if (owned.legitimate_origins.empty()) {
+    throw std::invalid_argument("owned prefix needs at least one legitimate origin");
+  }
+  index_.insert(owned.prefix, owned_.size());
+  owned_.push_back(std::move(owned));
+}
+
+const OwnedPrefix* Config::match(const net::Prefix& p) const {
+  // Most-specific owned prefix covering p...
+  if (const auto hit = index_.lookup_covering(p)) return &owned_[*hit->second];
+  // ...otherwise any owned prefix covered by p (super-prefix hijack).
+  const OwnedPrefix* found = nullptr;
+  index_.visit_covered(p, [&](const net::Prefix&, const std::size_t& idx) {
+    if (found == nullptr) found = &owned_[idx];
+  });
+  return found;
+}
+
+Config Config::from_json(const json::Value& doc) {
+  Config config;
+  for (const auto& entry : doc.at("prefixes").as_array()) {
+    OwnedPrefix owned;
+    const auto prefix_text = entry.at("prefix").as_string();
+    const auto prefix = net::Prefix::parse(prefix_text);
+    if (!prefix) throw std::invalid_argument("bad prefix: " + prefix_text);
+    owned.prefix = *prefix;
+    for (const auto& origin : entry.at("origins").as_array()) {
+      const auto asn = origin.as_int();
+      if (asn <= 0 || asn > 0xFFFFFFFFLL) throw std::invalid_argument("bad origin ASN");
+      owned.legitimate_origins.insert(static_cast<bgp::Asn>(asn));
+    }
+    if (const auto* neighbors = entry.find("neighbors")) {
+      for (const auto& neighbor : neighbors->as_array()) {
+        const auto asn = neighbor.as_int();
+        if (asn <= 0 || asn > 0xFFFFFFFFLL) {
+          throw std::invalid_argument("bad neighbor ASN");
+        }
+        owned.legitimate_neighbors.insert(static_cast<bgp::Asn>(asn));
+      }
+    }
+    config.add_owned(std::move(owned));
+  }
+  if (const auto* mitigation = doc.find("mitigation")) {
+    auto& policy = config.mitigation();
+    policy.deaggregation_floor =
+        static_cast<int>(mitigation->get_int("deaggregation_floor", 24));
+    if (policy.deaggregation_floor < 1 || policy.deaggregation_floor > 32) {
+      throw std::invalid_argument("deaggregation_floor out of range");
+    }
+    policy.reannounce_exact = mitigation->get_bool("reannounce_exact", true);
+    policy.auto_mitigate = mitigation->get_bool("auto_mitigate", true);
+  }
+  return config;
+}
+
+Config Config::from_json_text(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+json::Value Config::to_json() const {
+  json::Array prefixes;
+  for (const auto& owned : owned_) {
+    json::Object entry;
+    entry["prefix"] = json::Value(owned.prefix.to_string());
+    json::Array origins;
+    for (const auto asn : owned.legitimate_origins) {
+      origins.emplace_back(static_cast<std::int64_t>(asn));
+    }
+    entry["origins"] = json::Value(std::move(origins));
+    if (!owned.legitimate_neighbors.empty()) {
+      json::Array neighbors;
+      for (const auto asn : owned.legitimate_neighbors) {
+        neighbors.emplace_back(static_cast<std::int64_t>(asn));
+      }
+      entry["neighbors"] = json::Value(std::move(neighbors));
+    }
+    prefixes.emplace_back(std::move(entry));
+  }
+  json::Object mitigation;
+  mitigation["deaggregation_floor"] =
+      json::Value(static_cast<std::int64_t>(mitigation_.deaggregation_floor));
+  mitigation["reannounce_exact"] = json::Value(mitigation_.reannounce_exact);
+  mitigation["auto_mitigate"] = json::Value(mitigation_.auto_mitigate);
+  json::Object doc;
+  doc["prefixes"] = json::Value(std::move(prefixes));
+  doc["mitigation"] = json::Value(std::move(mitigation));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace artemis::core

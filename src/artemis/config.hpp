@@ -1,0 +1,87 @@
+// ARTEMIS operator configuration.
+//
+// The operator declares what they own: prefixes, the origin ASNs entitled
+// to announce them, and (optionally) the legitimate upstream neighbors —
+// the ground truth the detection service checks observations against.
+// Loadable from JSON (the deployment artifact an operator would edit).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "json/json.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "util/time.hpp"
+
+namespace artemis::core {
+
+/// One owned prefix and its legitimacy ground truth.
+struct OwnedPrefix {
+  net::Prefix prefix;
+  /// ASNs allowed to originate this prefix (usually one; anycast/multi-
+  /// origin setups list several).
+  std::set<bgp::Asn> legitimate_origins;
+  /// Direct upstream/peer ASNs expected adjacent to the origin in paths.
+  /// Empty disables the Type-1 (fake first-hop) check for this prefix.
+  std::set<bgp::Asn> legitimate_neighbors;
+};
+
+/// Mitigation policy knobs (paper §2: de-aggregation with the /24 caveat).
+struct MitigationPolicy {
+  /// Announce sub-prefixes no longer than this (the Internet's filtering
+  /// boundary). A hijacked prefix is split into its two halves as long as
+  /// they are <= this length.
+  int deaggregation_floor = 24;
+  /// Also re-announce the exact hijacked prefix (helps when the hijack is
+  /// losing the tie-break anyway; harmless otherwise).
+  bool reannounce_exact = true;
+  /// Automatic mitigation on alert; false = detect-only (alert mode).
+  bool auto_mitigate = true;
+  /// Outsourcing (extension, following the authors' later work): when
+  /// helper controllers are registered with the MitigationService, have
+  /// the helper organizations announce the mitigation prefixes too (MOAS)
+  /// and tunnel the traffic back. kWhenInfeasible only activates helpers
+  /// for victims de-aggregation cannot defend (/24s).
+  enum class Outsource : std::uint8_t { kNever, kWhenInfeasible, kAlways };
+  Outsource outsource = Outsource::kWhenInfeasible;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  void add_owned(OwnedPrefix owned);
+
+  const std::vector<OwnedPrefix>& owned() const { return owned_; }
+  bool owns_nothing() const { return owned_.empty(); }
+
+  MitigationPolicy& mitigation() { return mitigation_; }
+  const MitigationPolicy& mitigation() const { return mitigation_; }
+
+  /// The most specific owned prefix overlapping `p`, or nullptr. Covers
+  /// both directions: `p` inside an owned prefix (classic / sub-prefix
+  /// hijack) and `p` strictly covering an owned prefix (super-prefix
+  /// announcement that still captures our traffic at some VPs).
+  const OwnedPrefix* match(const net::Prefix& p) const;
+
+  /// Loads from the JSON schema documented in README.md:
+  /// {"prefixes":[{"prefix":"10.0.0.0/23","origins":[65001],
+  ///               "neighbors":[174,3356]}],
+  ///  "mitigation":{"deaggregation_floor":24,"reannounce_exact":true,
+  ///                "auto_mitigate":true}}
+  /// Throws json::JsonError / std::invalid_argument on malformed input.
+  static Config from_json(const json::Value& doc);
+  static Config from_json_text(std::string_view text);
+
+  json::Value to_json() const;
+
+ private:
+  std::vector<OwnedPrefix> owned_;
+  net::PrefixTrie<std::size_t> index_;  ///< prefix -> index into owned_
+  MitigationPolicy mitigation_;
+};
+
+}  // namespace artemis::core

@@ -1,0 +1,33 @@
+#include "artemis/controller.hpp"
+
+namespace artemis::core {
+
+SimController::SimController(sim::Network& network, bgp::Asn router_asn,
+                             SimDuration command_latency)
+    : network_(network), router_asn_(router_asn), command_latency_(command_latency) {}
+
+void SimController::announce(const net::Prefix& prefix) {
+  auto& sim = network_.simulator();
+  ControllerCommand cmd;
+  cmd.kind = ControllerCommand::Kind::kAnnounce;
+  cmd.prefix = prefix;
+  cmd.issued_at = sim.now();
+  cmd.applied_at = sim.now() + command_latency_;
+  log_.push_back(cmd);
+  auto& speaker = network_.speaker(router_asn_);
+  sim.after(command_latency_, [&speaker, prefix] { speaker.originate(prefix); });
+}
+
+void SimController::withdraw(const net::Prefix& prefix) {
+  auto& sim = network_.simulator();
+  ControllerCommand cmd;
+  cmd.kind = ControllerCommand::Kind::kWithdraw;
+  cmd.prefix = prefix;
+  cmd.issued_at = sim.now();
+  cmd.applied_at = sim.now() + command_latency_;
+  log_.push_back(cmd);
+  auto& speaker = network_.speaker(router_asn_);
+  sim.after(command_latency_, [&speaker, prefix] { speaker.withdraw_origin(prefix); });
+}
+
+}  // namespace artemis::core

@@ -1,0 +1,61 @@
+// The BGP controller abstraction (paper §2).
+//
+// ARTEMIS assumes permission to send BGP advertisements from the
+// network's routers, obtained by running as an application module over an
+// SDN controller that speaks BGP (ONOS / OpenDayLight). Controller is
+// that interface; SimController implements it against the simulated
+// network with a configurable command latency — the ~15 s the paper
+// measures between detection and the de-aggregated announcements leaving
+// the routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "sim/network.hpp"
+#include "util/time.hpp"
+
+namespace artemis::core {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Announce `prefix` from the operator's border routers.
+  virtual void announce(const net::Prefix& prefix) = 0;
+
+  /// Withdraw a previously announced prefix.
+  virtual void withdraw(const net::Prefix& prefix) = 0;
+};
+
+/// A command as logged by SimController (for tests and reports).
+struct ControllerCommand {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw } kind = Kind::kAnnounce;
+  net::Prefix prefix;
+  SimTime issued_at;   ///< when ARTEMIS issued the command
+  SimTime applied_at;  ///< when the router emitted the announcement
+};
+
+class SimController final : public Controller {
+ public:
+  /// Commands are applied at the speaker of `router_asn` after
+  /// `command_latency` (controller RPC + router config push + session
+  /// processing).
+  SimController(sim::Network& network, bgp::Asn router_asn,
+                SimDuration command_latency = SimDuration::seconds(15));
+
+  void announce(const net::Prefix& prefix) override;
+  void withdraw(const net::Prefix& prefix) override;
+
+  bgp::Asn router_asn() const { return router_asn_; }
+  const std::vector<ControllerCommand>& log() const { return log_; }
+
+ private:
+  sim::Network& network_;
+  bgp::Asn router_asn_;
+  SimDuration command_latency_;
+  std::vector<ControllerCommand> log_;
+};
+
+}  // namespace artemis::core

@@ -1,0 +1,118 @@
+#include "artemis/detection.hpp"
+
+namespace artemis::core {
+
+DetectionService::DetectionService(const Config& config, DetectionOptions options)
+    : config_(config), options_(options) {}
+
+void DetectionService::attach(feeds::MonitorHub& hub) {
+  hub.subscribe([this](const feeds::Observation& obs) { process(obs); });
+}
+
+void DetectionService::on_alert(AlertHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+std::optional<HijackAlert> DetectionService::classify(
+    const feeds::Observation& obs) const {
+  if (obs.type == feeds::ObservationType::kWithdrawal) return std::nullopt;
+  const OwnedPrefix* owned = config_.match(obs.prefix);
+  if (owned == nullptr) {
+    // Outside owned space: only the (optional) RPKI signal applies.
+    if (options_.roa_table != nullptr &&
+        options_.roa_table->validate(obs.prefix, obs.origin_as()) ==
+            rpki::Validity::kInvalid) {
+      HijackAlert alert;
+      alert.type = HijackType::kRpkiInvalid;
+      alert.owned_prefix = obs.prefix;  // best effort: no owned match
+      alert.observed_prefix = obs.prefix;
+      alert.offender = obs.origin_as();
+      alert.observed_path = obs.attrs.as_path;
+      alert.vantage = obs.vantage;
+      alert.source = obs.source;
+      alert.event_time = obs.event_time;
+      alert.detected_at = obs.delivered_at;
+      return alert;
+    }
+    return std::nullopt;
+  }
+
+  const bgp::Asn origin = obs.origin_as();
+  const bool origin_ok = owned->legitimate_origins.contains(origin);
+
+  HijackAlert alert;
+  alert.owned_prefix = owned->prefix;
+  alert.observed_prefix = obs.prefix;
+  alert.observed_path = obs.attrs.as_path;
+  alert.vantage = obs.vantage;
+  alert.source = obs.source;
+  alert.event_time = obs.event_time;
+  alert.detected_at = obs.delivered_at;
+
+  if (obs.prefix == owned->prefix) {
+    if (!origin_ok) {
+      alert.type = HijackType::kExactOrigin;
+      alert.offender = origin;
+      return alert;
+    }
+  } else if (owned->prefix.covers(obs.prefix)) {
+    // A more-specific announcement inside our space. Even with our origin
+    // it is suspicious (an attacker can forge the origin), but routes we
+    // announced ourselves (mitigation sub-prefixes!) must not self-alert:
+    // those carry a legitimate origin.
+    if (options_.detect_subprefix && !origin_ok) {
+      alert.type = HijackType::kSubPrefix;
+      alert.offender = origin;
+      return alert;
+    }
+  } else if (obs.prefix.covers(owned->prefix)) {
+    if (options_.detect_superprefix && !origin_ok) {
+      alert.type = HijackType::kSuperPrefix;
+      alert.offender = origin;
+      return alert;
+    }
+  }
+
+  // Origin is fine (or checks disabled); optionally vet the first hop.
+  if (options_.detect_fake_first_hop && origin_ok &&
+      !owned->legitimate_neighbors.empty()) {
+    const bgp::Asn adjacent = obs.attrs.as_path.origin_neighbor();
+    if (adjacent != bgp::kNoAsn && !owned->legitimate_neighbors.contains(adjacent) &&
+        !owned->legitimate_origins.contains(adjacent)) {
+      alert.type = HijackType::kFakeFirstHop;
+      alert.offender = adjacent;
+      return alert;
+    }
+  }
+  return std::nullopt;
+}
+
+void DetectionService::process(const feeds::Observation& obs) {
+  ++processed_;
+  auto alert = classify(obs);
+  if (!alert) return;
+  ++matched_;
+
+  const std::string key = alert->dedup_key();
+  auto& record = records_[key];
+  ++record.observations;
+  record.first_seen_by_source.try_emplace(obs.source, obs.delivered_at);
+
+  if (record.observations == 1) {
+    alerts_.push_back(*alert);
+    for (const auto& handler : handlers_) handler(*alert);
+  }
+}
+
+const std::map<std::string, SimTime>* DetectionService::first_seen_by_source(
+    const std::string& dedup_key) const {
+  const auto it = records_.find(dedup_key);
+  return it == records_.end() ? nullptr : &it->second.first_seen_by_source;
+}
+
+std::uint64_t DetectionService::observation_count(const std::string& dedup_key) const {
+  const auto it = records_.find(dedup_key);
+  return it == records_.end() ? 0 : it->second.observations;
+}
+
+}  // namespace artemis::core

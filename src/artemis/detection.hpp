@@ -1,0 +1,93 @@
+// The detection service (paper §2, "runs continuously").
+//
+// Consumes the merged observation stream and checks every observation
+// that overlaps an owned prefix against the configured ground truth:
+//   * exact-prefix origin violation  (the demo's check)
+//   * sub-prefix announcement        (extension, on by default: any
+//                                     more-specific inside owned space is
+//                                     illegitimate unless whitelisted)
+//   * super-prefix origin violation  (extension)
+//   * fake first-hop / Type-1        (extension, needs neighbor config)
+// Alerts are deduplicated: the first observation of a given (type,
+// prefix, offender) raises the alert; later ones only bump counters —
+// but per-source first-seen times are always recorded, which is how
+// bench_detection_delay reports per-source detection latency (E1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "artemis/alert.hpp"
+#include "artemis/config.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "rpki/roa.hpp"
+#include "feeds/observation.hpp"
+
+namespace artemis::core {
+
+using AlertHandler = std::function<void(const HijackAlert&)>;
+
+struct DetectionOptions {
+  /// Extensions beyond the demo's origin check (DESIGN.md). Benches that
+  /// reproduce the paper leave sub/super on (they never fire in the
+  /// exact-origin experiments) and first-hop off.
+  bool detect_subprefix = true;
+  bool detect_superprefix = true;
+  bool detect_fake_first_hop = false;
+  /// When set, every announcement is additionally validated against the
+  /// ROA table; RPKI-invalid announcements raise kRpkiInvalid alerts even
+  /// for prefixes outside the owned space (origin-validation-as-a-signal,
+  /// the prevention mechanism the paper's introduction contrasts with).
+  const rpki::RoaTable* roa_table = nullptr;
+};
+
+class DetectionService {
+ public:
+  DetectionService(const Config& config, DetectionOptions options = {});
+
+  /// Wires the service into a hub (subscribes to all its observations).
+  void attach(feeds::MonitorHub& hub);
+
+  /// Feeds one observation (alternative to attach() for tests/replay).
+  void process(const feeds::Observation& obs);
+
+  /// Registers an alert consumer (the mitigation service, a logger, ...).
+  void on_alert(AlertHandler handler);
+
+  /// All alerts raised so far (deduplicated).
+  const std::vector<HijackAlert>& alerts() const { return alerts_; }
+
+  /// First time each source delivered an observation matching `key`
+  /// (a HijackAlert::dedup_key()). Used for per-source delay reporting.
+  const std::map<std::string, SimTime>* first_seen_by_source(
+      const std::string& dedup_key) const;
+
+  /// Number of matching observations per deduplicated alert.
+  std::uint64_t observation_count(const std::string& dedup_key) const;
+
+  std::uint64_t observations_processed() const { return processed_; }
+  std::uint64_t observations_matched() const { return matched_; }
+
+ private:
+  /// Classifies an observation against config; nullopt if legitimate or
+  /// unrelated to owned space.
+  std::optional<HijackAlert> classify(const feeds::Observation& obs) const;
+
+  const Config& config_;
+  DetectionOptions options_;
+  std::vector<AlertHandler> handlers_;
+  std::vector<HijackAlert> alerts_;
+  struct HijackRecord {
+    std::map<std::string, SimTime> first_seen_by_source;
+    std::uint64_t observations = 0;
+  };
+  std::unordered_map<std::string, HijackRecord> records_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace artemis::core

@@ -1,0 +1,82 @@
+#include "artemis/mitigation.hpp"
+
+namespace artemis::core {
+
+MitigationPlan plan_mitigation(const net::Prefix& owned, const net::Prefix& observed,
+                               const MitigationPolicy& policy) {
+  MitigationPlan plan;
+  // The contested scope is the overlap of what we own and what was
+  // announced: equal to the more specific of the two (they overlap by
+  // construction of the alert). Announcements more specific than the
+  // scope win longest-prefix match everywhere inside it.
+  const net::Prefix scope = owned.covers(observed) ? observed : owned;
+  const int target_len = scope.length() + 1;
+
+  if (scope.length() < scope.max_length() && target_len <= policy.deaggregation_floor) {
+    plan.deaggregation_possible = true;
+    for (const auto& half : scope.deaggregate(target_len)) {
+      plan.announcements.push_back(half);
+    }
+  }
+  if (policy.reannounce_exact) {
+    // Re-announcing the owned prefix restores competition on the exact
+    // route even when de-aggregation is filtered.
+    plan.announcements.push_back(owned);
+  }
+  return plan;
+}
+
+MitigationService::MitigationService(const Config& config, Controller& controller,
+                                     sim::Simulator& sim)
+    : config_(config), controller_(controller), sim_(sim) {}
+
+void MitigationService::add_helper(Controller& controller) {
+  helpers_controllers_.push_back(&controller);
+}
+
+void MitigationService::attach(DetectionService& detection) {
+  detection.on_alert([this](const HijackAlert& alert) { handle_alert(alert); });
+}
+
+void MitigationService::on_mitigation(MitigationHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+void MitigationService::handle_alert(const HijackAlert& alert) {
+  if (!config_.mitigation().auto_mitigate) return;
+  const std::string key = alert.dedup_key();
+  if (by_key_.contains(key)) return;  // already being mitigated
+
+  MitigationRecord record;
+  record.alert = alert;
+  record.plan = plan_mitigation(alert.owned_prefix, alert.observed_prefix,
+                                config_.mitigation());
+  record.triggered_at = sim_.now();
+  for (const auto& prefix : record.plan.announcements) {
+    controller_.announce(prefix);
+  }
+
+  // Mitigation outsourcing: helper organizations co-announce (MOAS) when
+  // the policy calls for it. For infeasible plans with no announcements,
+  // helpers announce the owned prefix itself — competing head-on with the
+  // hijacker from (presumably) better-connected positions.
+  const auto outsource_mode = config_.mitigation().outsource;
+  const bool activate =
+      !helpers_controllers_.empty() &&
+      (outsource_mode == MitigationPolicy::Outsource::kAlways ||
+       (outsource_mode == MitigationPolicy::Outsource::kWhenInfeasible &&
+        !record.plan.deaggregation_possible));
+  if (activate) {
+    std::vector<net::Prefix> helper_prefixes = record.plan.announcements;
+    if (helper_prefixes.empty()) helper_prefixes.push_back(alert.owned_prefix);
+    for (auto* helper : helpers_controllers_) {
+      for (const auto& prefix : helper_prefixes) helper->announce(prefix);
+    }
+    record.helpers_used = helpers_controllers_.size();
+  }
+  by_key_.emplace(key, records_.size());
+  records_.push_back(record);
+  for (const auto& handler : handlers_) handler(record);
+}
+
+}  // namespace artemis::core

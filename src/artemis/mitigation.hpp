@@ -1,0 +1,84 @@
+// The mitigation service (paper §2): automatic prefix de-aggregation.
+//
+// On a hijack alert, the service computes the most-specific announcements
+// that reclaim the hijacked address space — splitting the affected scope
+// into its two halves, as long as those stay within the de-aggregation
+// floor (/24; longer prefixes are filtered by the Internet, the paper's
+// central caveat) — and pushes them through the Controller without any
+// manual step. The elapsed time from alert to controller commands is the
+// paper's "~0 s decision + ~15 s controller" segment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "artemis/alert.hpp"
+#include "artemis/config.hpp"
+#include "artemis/controller.hpp"
+#include "artemis/detection.hpp"
+
+namespace artemis::core {
+
+/// What the service decided to do about one hijack.
+struct MitigationPlan {
+  /// Sub-prefixes to announce (empty when de-aggregation is infeasible
+  /// and reannounce_exact is off).
+  std::vector<net::Prefix> announcements;
+  /// True when de-aggregation could produce prefixes more specific than
+  /// the hijacked scope within the floor. False for /24 victims.
+  bool deaggregation_possible = false;
+};
+
+/// Computes the plan for a hijack of `observed` overlapping `owned`.
+/// Exposed as a free function for unit/property testing.
+MitigationPlan plan_mitigation(const net::Prefix& owned, const net::Prefix& observed,
+                               const MitigationPolicy& policy);
+
+struct MitigationRecord {
+  HijackAlert alert;
+  MitigationPlan plan;
+  SimTime triggered_at;
+  /// Number of helper organizations that also announced the plan (0 when
+  /// outsourcing did not activate).
+  std::size_t helpers_used = 0;
+};
+
+using MitigationHandler = std::function<void(const MitigationRecord&)>;
+
+class MitigationService {
+ public:
+  MitigationService(const Config& config, Controller& controller, sim::Simulator& sim);
+
+  /// Wires the service to a detection service's alerts.
+  void attach(DetectionService& detection);
+
+  /// Handles one alert directly (tests / manual operation).
+  void handle_alert(const HijackAlert& alert);
+
+  /// Registers a helper organization's controller (mitigation
+  /// outsourcing). The helper must be able to originate the victim's
+  /// prefixes (MOAS) and tunnel traffic back; whether helpers activate is
+  /// governed by MitigationPolicy::outsource.
+  void add_helper(Controller& controller);
+
+  std::size_t helper_count() const { return helpers_controllers_.size(); }
+
+  void on_mitigation(MitigationHandler handler);
+
+  const std::vector<MitigationRecord>& records() const { return records_; }
+
+ private:
+  const Config& config_;
+  Controller& controller_;
+  sim::Simulator& sim_;
+  std::vector<Controller*> helpers_controllers_;
+  std::vector<MitigationHandler> handlers_;
+  std::vector<MitigationRecord> records_;
+  /// Dedup: one mitigation per hijack key.
+  std::unordered_map<std::string, std::size_t> by_key_;
+};
+
+}  // namespace artemis::core

@@ -1,0 +1,111 @@
+#include "artemis/monitoring.hpp"
+
+#include <cmath>
+
+namespace artemis::core {
+
+MonitoringService::MonitoringService(const Config& config) : config_(config) {}
+
+void MonitoringService::attach(feeds::MonitorHub& hub) {
+  hub.subscribe([this](const feeds::Observation& obs) { process(obs); });
+}
+
+std::vector<net::IpAddress> MonitoringService::sample_points(
+    const net::Prefix& owned) const {
+  if (owned.length() >= owned.max_length()) return {owned.address()};
+  const auto [low, high] = owned.split();
+  return {low.address(), high.address()};
+}
+
+bool MonitoringService::compute_legitimate(const VantageView& view,
+                                           const OwnedPrefix& owned) const {
+  const auto samples = sample_points(owned.prefix);
+  for (const auto& addr : samples) {
+    const auto hit = view.routes.lookup(addr);
+    if (!hit) return false;  // no route: traffic is blackholed, not ours
+    if (!owned.legitimate_origins.contains(*hit->second)) return false;
+  }
+  return true;
+}
+
+void MonitoringService::process(const feeds::Observation& obs) {
+  const OwnedPrefix* owned = config_.match(obs.prefix);
+  if (owned == nullptr) return;
+
+  auto& view = vantages_[obs.vantage];
+  if (obs.type == feeds::ObservationType::kWithdrawal) {
+    view.routes.erase(obs.prefix);
+  } else {
+    view.routes.insert(obs.prefix, obs.origin_as());
+  }
+
+  // Recompute legitimacy for every owned prefix this observation touches
+  // (a super-prefix can affect several).
+  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
+    const auto& candidate = config_.owned()[i];
+    if (!candidate.prefix.overlaps(obs.prefix)) continue;
+    const bool legit = compute_legitimate(view, candidate);
+    const auto key = std::make_pair(obs.vantage, i);
+    const auto it = state_.find(key);
+    if (it != state_.end() && it->second == legit) continue;
+    state_[key] = legit;
+    VantageChange change;
+    change.when = obs.delivered_at;
+    change.vantage = obs.vantage;
+    change.owned = candidate.prefix;
+    change.legitimate = legit;
+    if (const auto hit = view.routes.lookup(candidate.prefix.address())) {
+      change.current_origin = *hit->second;
+    }
+    changes_.push_back(change);
+    for (const auto& handler : handlers_) handler(change);
+  }
+}
+
+std::optional<bool> MonitoringService::vantage_legitimate(
+    bgp::Asn vantage, const net::Prefix& owned) const {
+  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
+    if (config_.owned()[i].prefix != owned) continue;
+    const auto it = state_.find(std::make_pair(vantage, i));
+    if (it == state_.end()) return std::nullopt;
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+double MonitoringService::fraction_legitimate(const net::Prefix& owned) const {
+  std::size_t with_data = 0;
+  std::size_t legit = 0;
+  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
+    if (config_.owned()[i].prefix != owned) continue;
+    for (const auto& [key, value] : state_) {
+      if (key.second != i) continue;
+      ++with_data;
+      if (value) ++legit;
+    }
+  }
+  if (with_data == 0) return std::nan("");
+  return static_cast<double>(legit) / static_cast<double>(with_data);
+}
+
+bool MonitoringService::all_legitimate(const net::Prefix& owned) const {
+  const double fraction = fraction_legitimate(owned);
+  return !std::isnan(fraction) && fraction >= 1.0;
+}
+
+std::size_t MonitoringService::vantages_with_data(const net::Prefix& owned) const {
+  std::size_t with_data = 0;
+  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
+    if (config_.owned()[i].prefix != owned) continue;
+    for (const auto& [key, value] : state_) {
+      if (key.second == i) ++with_data;
+    }
+  }
+  return with_data;
+}
+
+void MonitoringService::on_change(std::function<void(const VantageChange&)> handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+}  // namespace artemis::core

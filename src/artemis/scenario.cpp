@@ -1,0 +1,176 @@
+#include "artemis/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace artemis::core {
+namespace {
+
+/// Resolves "stub:N" / "tier2:N" / "tier1:N" / "<asn>" actor references.
+bgp::Asn resolve_actor(const topo::AsGraph& graph, const std::string& ref) {
+  const auto fields = split(ref, ':');
+  if (fields.size() == 1) {
+    const auto asn = parse_u32(fields[0]);
+    if (!asn || *asn == 0 || !graph.has_as(*asn)) {
+      throw std::invalid_argument("unknown actor ASN: " + ref);
+    }
+    return *asn;
+  }
+  if (fields.size() != 2) throw std::invalid_argument("bad actor reference: " + ref);
+  topo::Tier tier;
+  if (fields[0] == "tier1") {
+    tier = topo::Tier::kTier1;
+  } else if (fields[0] == "tier2") {
+    tier = topo::Tier::kTier2;
+  } else if (fields[0] == "stub") {
+    tier = topo::Tier::kStub;
+  } else {
+    throw std::invalid_argument("bad actor tier: " + ref);
+  }
+  const auto members = graph.ases_in_tier(tier);
+  if (members.empty()) throw std::invalid_argument("tier is empty: " + ref);
+  std::string_view index_text = fields[1];
+  bool from_back = false;
+  if (!index_text.empty() && index_text.front() == '-') {
+    from_back = true;
+    index_text.remove_prefix(1);
+  }
+  const auto index = parse_u64(index_text);
+  if (!index) throw std::invalid_argument("bad actor index: " + ref);
+  std::size_t position = 0;
+  if (from_back) {
+    if (*index == 0 || *index > members.size()) {
+      throw std::invalid_argument("actor index out of range: " + ref);
+    }
+    position = members.size() - *index;
+  } else {
+    if (*index >= members.size()) {
+      throw std::invalid_argument("actor index out of range: " + ref);
+    }
+    position = *index;
+  }
+  return members[position];
+}
+
+}  // namespace
+
+Scenario load_scenario(const json::Value& doc) {
+  Scenario scenario;
+  scenario.seed = static_cast<std::uint64_t>(doc.get_int("seed", 42));
+
+  if (const auto* topology = doc.find("topology")) {
+    scenario.topology.tier1_count = static_cast<int>(topology->get_int("tier1", 10));
+    scenario.topology.tier2_count = static_cast<int>(topology->get_int("tier2", 140));
+    scenario.topology.stub_count = static_cast<int>(topology->get_int("stubs", 1450));
+    scenario.topology.min_providers =
+        static_cast<int>(topology->get_int("min_providers", 1));
+    scenario.topology.max_providers =
+        static_cast<int>(topology->get_int("max_providers", 3));
+    scenario.topology.tier2_peering_prob = topology->get_number("peering_prob", 0.05);
+  }
+
+  if (const auto* network = doc.find("network")) {
+    scenario.network.mrai = SimDuration::seconds(network->get_number("mrai_s", 30.0));
+    scenario.network.max_accepted_prefix_len =
+        static_cast<int>(network->get_int("max_prefix_len", 24));
+    scenario.network.min_link_delay =
+        SimDuration::millis(network->get_int("min_link_delay_ms", 10));
+    scenario.network.max_link_delay =
+        SimDuration::millis(network->get_int("max_link_delay_ms", 150));
+  }
+
+  Rng rng(scenario.seed);
+  auto topo_rng = rng.fork("topology");
+  scenario.graph = topo::generate_topology(scenario.topology, topo_rng);
+
+  const auto& experiment = doc.at("experiment");
+  auto& params = scenario.experiment;
+  const auto victim_prefix_text =
+      experiment.get_string("victim_prefix", "10.0.0.0/23");
+  const auto victim_prefix = net::Prefix::parse(victim_prefix_text);
+  if (!victim_prefix) {
+    throw std::invalid_argument("bad victim_prefix: " + victim_prefix_text);
+  }
+  params.victim_prefix = *victim_prefix;
+  params.victim =
+      resolve_actor(scenario.graph, experiment.get_string("victim", "stub:0"));
+  params.attacker =
+      resolve_actor(scenario.graph, experiment.get_string("attacker", "stub:-1"));
+  if (params.victim == params.attacker) {
+    throw std::invalid_argument("victim and attacker must differ");
+  }
+  if (const auto* hijack_prefix = experiment.find("hijack_prefix")) {
+    const auto parsed = net::Prefix::parse(hijack_prefix->as_string());
+    if (!parsed) throw std::invalid_argument("bad hijack_prefix");
+    params.hijack_prefix = *parsed;
+  }
+  if (experiment.get_bool("forged_first_hop", false)) {
+    params.forged_path = bgp::AsPath({params.attacker, params.victim});
+  }
+  params.hijack_at = SimTime::at_seconds(experiment.get_number("hijack_at_s", 3600.0));
+  params.horizon = SimDuration::minutes(experiment.get_number("horizon_min", 30.0));
+  params.helper_count = static_cast<int>(experiment.get_int("helper_count", 0));
+  params.app.detection.detect_fake_first_hop =
+      experiment.get_bool("detect_fake_first_hop", false);
+  params.app.controller_latency =
+      SimDuration::seconds(experiment.get_number("controller_latency_s", 15.0));
+  return scenario;
+}
+
+Scenario load_scenario_text(std::string_view text) {
+  return load_scenario(json::parse(text));
+}
+
+ExperimentResult Scenario::run() const {
+  Rng rng(seed);
+  HijackExperiment experiment(graph, network, this->experiment, rng.fork("experiment"));
+  return experiment.run();
+}
+
+json::Value result_to_json(const ExperimentResult& result) {
+  json::Object out;
+  out["hijack_at_s"] = json::Value(result.hijack_at.as_seconds());
+  if (result.detected_at) {
+    out["detected"] = json::Value(true);
+    out["detection_delay_s"] = json::Value(result.detection_delay()->as_seconds());
+    out["detection_source"] = json::Value(result.detection_source);
+    json::Object by_source;
+    for (const auto& [source, when] : result.detection_by_source) {
+      by_source[source] = json::Value((when - result.hijack_at).as_seconds());
+    }
+    out["detection_by_source_s"] = json::Value(std::move(by_source));
+  } else {
+    out["detected"] = json::Value(false);
+  }
+  if (const auto d = result.mitigation_start_delay()) {
+    out["mitigation_start_delay_s"] = json::Value(d->as_seconds());
+  }
+  if (const auto d = result.mitigation_duration()) {
+    out["mitigation_duration_s"] = json::Value(d->as_seconds());
+  }
+  if (const auto d = result.total_duration()) {
+    out["total_duration_s"] = json::Value(d->as_seconds());
+  }
+  json::Array announcements;
+  for (const auto& prefix : result.mitigation_announcements) {
+    announcements.emplace_back(prefix.to_string());
+  }
+  out["mitigation_announcements"] = json::Value(std::move(announcements));
+  out["deaggregation_possible"] = json::Value(result.deaggregation_possible);
+  out["helpers_used"] = json::Value(static_cast<std::int64_t>(result.helpers_used));
+  out["max_hijacked_fraction"] = json::Value(result.max_hijacked_fraction);
+  out["max_hijacked_impact"] = json::Value(result.max_hijacked_impact);
+  json::Array timeline;
+  for (const auto& sample : result.timeline) {
+    json::Object point;
+    point["t_s"] = json::Value(sample.when.as_seconds());
+    point["truth"] = json::Value(sample.truth_fraction);
+    point["feed"] = json::Value(sample.feed_fraction);
+    timeline.emplace_back(std::move(point));
+  }
+  out["timeline"] = json::Value(std::move(timeline));
+  return json::Value(std::move(out));
+}
+
+}  // namespace artemis::core

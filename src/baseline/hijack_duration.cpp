@@ -1,0 +1,64 @@
+#include "baseline/hijack_duration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace artemis::baseline {
+namespace {
+
+// Acklam-style rational approximation of the standard normal quantile.
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::out_of_range("quantile p outside (0,1)");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+HijackDurationModel::HijackDurationModel(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("sigma must be positive");
+}
+
+SimDuration HijackDurationModel::sample(Rng& rng) const {
+  return SimDuration::minutes(rng.lognormal(mu_, sigma_));
+}
+
+double HijackDurationModel::cdf(SimDuration d) const {
+  const double minutes = d.as_minutes();
+  if (minutes <= 0.0) return 0.0;
+  const double z = (std::log(minutes) - mu_) / sigma_;
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+SimDuration HijackDurationModel::quantile(double q) const {
+  return SimDuration::minutes(std::exp(mu_ + sigma_ * inverse_normal_cdf(q)));
+}
+
+}  // namespace artemis::baseline

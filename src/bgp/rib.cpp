@@ -1,0 +1,88 @@
+#include "bgp/rib.hpp"
+
+#include <cassert>
+
+namespace artemis::bgp {
+
+bool better_route(const Route& a, const Route& b) {
+  if (a.attrs.local_pref != b.attrs.local_pref) {
+    return a.attrs.local_pref > b.attrs.local_pref;
+  }
+  if (a.path_length() != b.path_length()) return a.path_length() < b.path_length();
+  if (a.attrs.origin != b.attrs.origin) return a.attrs.origin < b.attrs.origin;
+  if (a.attrs.med != b.attrs.med) return a.attrs.med < b.attrs.med;
+  return a.learned_from < b.learned_from;
+}
+
+void LocRib::Entry::recompute_best() {
+  assert(!candidates.empty());
+  const Route* chosen = nullptr;
+  for (const auto& [from, route] : candidates) {
+    if (chosen == nullptr || better_route(route, *chosen)) chosen = &route;
+  }
+  best = *chosen;
+}
+
+std::optional<BestRouteChange> LocRib::announce(const Route& route) {
+  Entry* entry = table_.find(route.prefix);
+  if (entry == nullptr) {
+    Entry fresh;
+    fresh.candidates.emplace(route.learned_from, route);
+    fresh.best = route;
+    table_.insert(route.prefix, std::move(fresh));
+    return BestRouteChange{route.prefix, std::nullopt, route};
+  }
+  const Route old_best = entry->best;
+  entry->candidates[route.learned_from] = route;
+  entry->recompute_best();
+  if (entry->best == old_best) return std::nullopt;
+  return BestRouteChange{route.prefix, old_best, entry->best};
+}
+
+std::optional<BestRouteChange> LocRib::withdraw(const net::Prefix& prefix, Asn from) {
+  Entry* entry = table_.find(prefix);
+  if (entry == nullptr) return std::nullopt;
+  const auto it = entry->candidates.find(from);
+  if (it == entry->candidates.end()) return std::nullopt;
+  const Route old_best = entry->best;
+  entry->candidates.erase(it);
+  if (entry->candidates.empty()) {
+    table_.erase(prefix);
+    return BestRouteChange{prefix, old_best, std::nullopt};
+  }
+  entry->recompute_best();
+  if (entry->best == old_best) return std::nullopt;
+  return BestRouteChange{prefix, old_best, entry->best};
+}
+
+const Route* LocRib::best(const net::Prefix& prefix) const {
+  const Entry* entry = table_.find(prefix);
+  return entry != nullptr ? &entry->best : nullptr;
+}
+
+std::vector<Route> LocRib::candidates(const net::Prefix& prefix) const {
+  std::vector<Route> out;
+  const Entry* entry = table_.find(prefix);
+  if (entry != nullptr) {
+    out.reserve(entry->candidates.size());
+    for (const auto& [from, route] : entry->candidates) out.push_back(route);
+  }
+  return out;
+}
+
+std::optional<Route> LocRib::lookup(const net::IpAddress& addr) const {
+  const auto hit = table_.lookup(addr);
+  if (!hit) return std::nullopt;
+  return hit->second->best;
+}
+
+void LocRib::visit_best(const std::function<void(const Route&)>& fn) const {
+  table_.visit_all([&fn](const net::Prefix&, const Entry& entry) { fn(entry.best); });
+}
+
+void LocRib::visit_covered(const net::Prefix& p,
+                           const std::function<void(const Route&)>& fn) const {
+  table_.visit_covered(p, [&fn](const net::Prefix&, const Entry& entry) { fn(entry.best); });
+}
+
+}  // namespace artemis::bgp

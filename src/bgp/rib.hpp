@@ -1,0 +1,82 @@
+// Routing Information Bases and the BGP decision process.
+//
+// LocRib keeps, per prefix, every candidate route (one per neighbor it was
+// learned from) and the current best route selected by the standard
+// decision process. The simulator gives every AS one LocRib; vantage
+// points and collectors reuse the same type.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/prefix_trie.hpp"
+
+namespace artemis::bgp {
+
+/// Full decision-process comparison (RFC 4271 §9.1 subset, deterministic):
+/// 1. higher LOCAL_PREF   (set by import policy; encodes Gao–Rexford)
+/// 2. shorter AS_PATH
+/// 3. lower ORIGIN
+/// 4. lower MED
+/// 5. lower neighbor ASN  (deterministic tie-break)
+/// Returns true if `a` is strictly preferred over `b`.
+bool better_route(const Route& a, const Route& b);
+
+/// Outcome of applying an announcement/withdrawal to a LocRib.
+struct BestRouteChange {
+  net::Prefix prefix;
+  std::optional<Route> old_best;  ///< nullopt if the prefix was absent
+  std::optional<Route> new_best;  ///< nullopt if the prefix is now gone
+
+  bool is_new_prefix() const { return !old_best.has_value(); }
+  bool is_removal() const { return !new_best.has_value(); }
+};
+
+/// A Loc-RIB with per-neighbor candidate tracking.
+class LocRib {
+ public:
+  /// Installs/overwrites the candidate from `route.learned_from` and
+  /// re-runs best selection. Returns the change iff the best route for the
+  /// prefix changed (attribute-identical refreshes return nullopt).
+  std::optional<BestRouteChange> announce(const Route& route);
+
+  /// Removes the candidate for `prefix` learned from `from`. Returns the
+  /// change iff the best route changed (including removal of the prefix).
+  std::optional<BestRouteChange> withdraw(const net::Prefix& prefix, Asn from);
+
+  /// Current best route for an exact prefix, or nullptr.
+  const Route* best(const net::Prefix& prefix) const;
+
+  /// All current candidates for an exact prefix (empty if absent).
+  std::vector<Route> candidates(const net::Prefix& prefix) const;
+
+  /// Longest-prefix-match forwarding decision for an address.
+  std::optional<Route> lookup(const net::IpAddress& addr) const;
+
+  /// Visits the best route of every prefix in the table.
+  void visit_best(const std::function<void(const Route&)>& fn) const;
+
+  /// Visits best routes for prefixes covered by `p` (equal/more specific).
+  void visit_covered(const net::Prefix& p,
+                     const std::function<void(const Route&)>& fn) const;
+
+  /// Number of prefixes with at least one candidate.
+  std::size_t prefix_count() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    /// Keyed by the neighbor the candidate was learned from; kNoAsn keys
+    /// self-originated routes. Invariant: non-empty while in the trie.
+    std::map<Asn, Route> candidates;
+    Route best;  ///< valid while the entry exists
+
+    void recompute_best();
+  };
+
+  net::PrefixTrie<Entry> table_;
+};
+
+}  // namespace artemis::bgp

@@ -1,0 +1,17 @@
+#include "bgp/route.hpp"
+
+namespace artemis::bgp {
+
+std::string Route::to_string() const {
+  std::string out = prefix.to_string();
+  out += " path [";
+  out += attrs.as_path.to_string();
+  out += "]";
+  if (learned_from != kNoAsn) {
+    out += " from AS";
+    out += std::to_string(learned_from);
+  }
+  return out;
+}
+
+}  // namespace artemis::bgp

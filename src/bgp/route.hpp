@@ -1,0 +1,46 @@
+// A BGP route: one prefix with the path attributes it was announced with.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "netbase/prefix.hpp"
+#include "util/time.hpp"
+
+namespace artemis::bgp {
+
+/// Path attributes shared by all NLRI of one UPDATE.
+struct PathAttributes {
+  AsPath as_path;
+  Origin origin = Origin::kIgp;
+  std::uint32_t local_pref = 100;  ///< significant only inside the receiving AS
+  std::uint32_t med = 0;
+  std::vector<Community> communities;
+
+  auto operator<=>(const PathAttributes&) const = default;
+};
+
+/// One routing-table entry as seen at some AS or vantage point.
+struct Route {
+  net::Prefix prefix;
+  PathAttributes attrs;
+  /// The neighbor AS this route was learned from (kNoAsn for self-originated).
+  Asn learned_from = kNoAsn;
+  /// When the route was installed, simulated time.
+  SimTime installed_at;
+
+  Asn origin_as() const { return attrs.as_path.origin_as(); }
+  std::size_t path_length() const { return attrs.as_path.length(); }
+
+  bool operator==(const Route& other) const {
+    return prefix == other.prefix && attrs == other.attrs &&
+           learned_from == other.learned_from;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace artemis::bgp

@@ -1,0 +1,74 @@
+#include "bgp/types.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace artemis::bgp {
+
+std::string_view to_string(Origin o) {
+  switch (o) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+std::string Community::to_string() const {
+  return std::to_string(asn) + ":" + std::to_string(value);
+}
+
+std::optional<Community> Community::parse(std::string_view text) {
+  const auto parts = split(text, ':');
+  if (parts.size() != 2) return std::nullopt;
+  const auto a = parse_u32(parts[0], 0xFFFF);
+  const auto v = parse_u32(parts[1], 0xFFFF);
+  if (!a || !v) return std::nullopt;
+  return Community{static_cast<std::uint16_t>(*a), static_cast<std::uint16_t>(*v)};
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> hops;
+  for (const auto token : split(text, ' ')) {
+    if (token.empty()) continue;
+    const auto asn = parse_u32(token);
+    if (!asn) return std::nullopt;
+    hops.push_back(*asn);
+  }
+  return AsPath(std::move(hops));
+}
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+bool AsPath::has_loop() const {
+  std::unordered_set<Asn> seen;
+  for (const Asn hop : hops_) {
+    if (!seen.insert(hop).second) return true;
+  }
+  return false;
+}
+
+AsPath AsPath::prepended(Asn asn) const { return prepended(asn, 1); }
+
+AsPath AsPath::prepended(Asn asn, int count) const {
+  std::vector<Asn> hops;
+  hops.reserve(hops_.size() + static_cast<std::size_t>(count));
+  hops.insert(hops.end(), static_cast<std::size_t>(count), asn);
+  hops.insert(hops.end(), hops_.begin(), hops_.end());
+  return AsPath(std::move(hops));
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+}  // namespace artemis::bgp

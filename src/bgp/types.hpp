@@ -1,0 +1,87 @@
+// Core BGP value types: AS numbers, AS paths, origins, communities.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace artemis::bgp {
+
+/// An Autonomous System number (4-byte per RFC 6793).
+using Asn = std::uint32_t;
+
+/// Sentinel "no AS" value (0 is reserved and never a real ASN).
+inline constexpr Asn kNoAsn = 0;
+
+/// BGP ORIGIN attribute (RFC 4271 §5.1.1). Lower is preferred.
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+std::string_view to_string(Origin o);
+
+/// A standard community (RFC 1997), stored as asn:value.
+struct Community {
+  std::uint16_t asn = 0;
+  std::uint16_t value = 0;
+
+  auto operator<=>(const Community&) const = default;
+  std::string to_string() const;
+  static std::optional<Community> parse(std::string_view text);
+};
+
+/// An AS_PATH as a flat AS_SEQUENCE (AS_SETs are not modeled: they are
+/// deprecated per RFC 6472 and never produced by the simulator).
+///
+/// Path order is propagation order: front() is the most recent AS (the
+/// neighbor the route was heard from), back() is the origin AS.
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+
+  /// Builds a single-hop path (origin announcing its own prefix).
+  static AsPath origin_only(Asn origin) { return AsPath({origin}); }
+
+  /// Parses "65001 65002 65003" (space separated, front first).
+  static std::optional<AsPath> parse(std::string_view text);
+
+  bool empty() const { return hops_.empty(); }
+  std::size_t length() const { return hops_.size(); }
+  const std::vector<Asn>& hops() const { return hops_; }
+
+  /// The originating AS (rightmost); kNoAsn on an empty path.
+  Asn origin_as() const { return hops_.empty() ? kNoAsn : hops_.back(); }
+
+  /// The AS the route was most recently heard from (leftmost).
+  Asn first_hop() const { return hops_.empty() ? kNoAsn : hops_.front(); }
+
+  /// The neighbor of the origin — second-to-last hop; kNoAsn if the path
+  /// has fewer than two hops. The Type-1 hijack check compares this
+  /// against the victim's legitimate neighbor set.
+  Asn origin_neighbor() const {
+    return hops_.size() < 2 ? kNoAsn : hops_[hops_.size() - 2];
+  }
+
+  bool contains(Asn asn) const;
+
+  /// True if any AS appears more than once (BGP loop-prevention trigger).
+  bool has_loop() const;
+
+  /// Returns a copy with `asn` prepended (the AS propagating the route).
+  AsPath prepended(Asn asn) const;
+
+  /// Returns a copy with `asn` prepended `count` times (path prepending,
+  /// the traffic-engineering knob; count >= 1).
+  AsPath prepended(Asn asn, int count) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const AsPath&) const = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+}  // namespace artemis::bgp

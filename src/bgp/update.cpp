@@ -1,0 +1,40 @@
+#include "bgp/update.hpp"
+
+namespace artemis::bgp {
+
+std::vector<Route> UpdateMessage::to_routes(SimTime received_at) const {
+  std::vector<Route> out;
+  out.reserve(announced.size());
+  for (const auto& prefix : announced) {
+    Route r;
+    r.prefix = prefix;
+    r.attrs = attrs;
+    r.learned_from = sender;
+    r.installed_at = received_at;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string UpdateMessage::to_string() const {
+  std::string out = "UPDATE from AS" + std::to_string(sender);
+  if (!announced.empty()) {
+    out += " announce {";
+    for (std::size_t i = 0; i < announced.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += announced[i].to_string();
+    }
+    out += "} path [" + attrs.as_path.to_string() + "]";
+  }
+  if (!withdrawn.empty()) {
+    out += " withdraw {";
+    for (std::size_t i = 0; i < withdrawn.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += withdrawn[i].to_string();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace artemis::bgp

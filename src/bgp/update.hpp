@@ -1,0 +1,39 @@
+// BGP UPDATE messages.
+//
+// One UPDATE carries a single attribute set plus the prefixes announced
+// with it, and a set of withdrawn prefixes (RFC 4271 §4.3). The simulator,
+// the feeds and the MRT codec all exchange this type.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "bgp/types.hpp"
+#include "netbase/prefix.hpp"
+#include "util/time.hpp"
+
+namespace artemis::bgp {
+
+struct UpdateMessage {
+  /// The AS that sent this update over the session (the peer).
+  Asn sender = kNoAsn;
+  /// Attributes for all announced prefixes (ignored if none announced).
+  PathAttributes attrs;
+  std::vector<net::Prefix> announced;
+  std::vector<net::Prefix> withdrawn;
+  /// When the sender emitted it (simulated time).
+  SimTime sent_at;
+
+  bool is_announcement() const { return !announced.empty(); }
+  bool is_withdrawal() const { return !withdrawn.empty(); }
+  bool empty() const { return announced.empty() && withdrawn.empty(); }
+
+  /// Expands the announcement part into per-prefix routes, as the receiver
+  /// would install them into its Adj-RIB-In.
+  std::vector<Route> to_routes(SimTime received_at) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace artemis::bgp

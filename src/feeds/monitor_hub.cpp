@@ -1,0 +1,19 @@
+#include "feeds/monitor_hub.hpp"
+
+namespace artemis::feeds {
+
+void MonitorHub::publish(const Observation& obs) {
+  ++total_;
+  ++per_source_[obs.source];
+  for (const auto& handler : subscribers_) handler(obs);
+}
+
+void MonitorHub::subscribe(ObservationHandler handler) {
+  subscribers_.push_back(std::move(handler));
+}
+
+ObservationHandler MonitorHub::inlet() {
+  return [this](const Observation& obs) { publish(obs); };
+}
+
+}  // namespace artemis::feeds

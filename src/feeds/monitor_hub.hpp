@@ -1,0 +1,42 @@
+// MonitorHub: the multiplexer that fuses all monitoring sources.
+//
+// The paper's detection delay is "the min of the delays of these sources"
+// (§2) because ARTEMIS consumes one merged stream. MonitorHub is that
+// merge point: every feed pushes Observations into it; the detection
+// service subscribes once. The hub also keeps per-source delivery
+// statistics so benches can report per-source vs combined delays (E1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "feeds/observation.hpp"
+
+namespace artemis::feeds {
+
+class MonitorHub {
+ public:
+  /// Called by feeds (already in simulated delivery time).
+  void publish(const Observation& obs);
+
+  /// Subscribers see every observation from every source, in delivery
+  /// order.
+  void subscribe(ObservationHandler handler);
+
+  /// An ObservationHandler that forwards into this hub — hand it to any
+  /// feed's subscribe().
+  ObservationHandler inlet();
+
+  std::uint64_t total_observations() const { return total_; }
+  const std::map<std::string, std::uint64_t>& per_source_counts() const {
+    return per_source_;
+  }
+
+ private:
+  std::vector<ObservationHandler> subscribers_;
+  std::map<std::string, std::uint64_t> per_source_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace artemis::feeds

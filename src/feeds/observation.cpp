@@ -1,0 +1,26 @@
+#include "feeds/observation.hpp"
+
+namespace artemis::feeds {
+
+std::string_view to_string(ObservationType t) {
+  switch (t) {
+    case ObservationType::kAnnouncement: return "announce";
+    case ObservationType::kWithdrawal: return "withdraw";
+    case ObservationType::kRouteState: return "state";
+  }
+  return "?";
+}
+
+std::string Observation::to_string() const {
+  std::string out(feeds::to_string(type));
+  out += " " + prefix.to_string();
+  out += " via AS" + std::to_string(vantage);
+  if (type != ObservationType::kWithdrawal) {
+    out += " path [" + attrs.as_path.to_string() + "]";
+  }
+  out += " src=" + source;
+  out += " lag=" + feed_lag().to_string();
+  return out;
+}
+
+}  // namespace artemis::feeds

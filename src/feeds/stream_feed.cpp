@@ -1,0 +1,64 @@
+#include "feeds/stream_feed.hpp"
+
+#include <cmath>
+
+namespace artemis::feeds {
+
+StreamFeed::StreamFeed(sim::Network& network, StreamFeedParams params, Rng rng)
+    : network_(network), params_(std::move(params)), rng_(rng) {
+  for (const auto vantage : params_.vantages) {
+    network_.speaker(vantage).add_change_tap(
+        [this, vantage](const bgp::UpdateMessage& update) {
+          on_vantage_update(vantage, update);
+        });
+  }
+}
+
+void StreamFeed::subscribe(ObservationHandler handler) {
+  subscribers_.push_back(std::move(handler));
+}
+
+SimDuration StreamFeed::sample_latency() {
+  const double mu = std::log(params_.median_latency.as_seconds());
+  return SimDuration::seconds(rng_.lognormal(mu, params_.latency_sigma));
+}
+
+void StreamFeed::on_vantage_update(bgp::Asn vantage, const bgp::UpdateMessage& update) {
+  auto& sim = network_.simulator();
+  const SimTime event_time = sim.now();
+
+  // One observation per announced/withdrawn prefix, delivered after an
+  // independently sampled latency (stream messages are not ordered across
+  // prefixes; subscribers must tolerate reordering, as with real RIS-live).
+  for (const auto& prefix : update.announced) {
+    Observation obs;
+    obs.type = ObservationType::kAnnouncement;
+    obs.source = params_.name;
+    obs.vantage = vantage;
+    obs.prefix = prefix;
+    obs.attrs = update.attrs;
+    obs.event_time = event_time;
+    const SimDuration latency = sample_latency();
+    obs.delivered_at = event_time + latency;
+    sim.after(latency, [this, obs] {
+      ++delivered_;
+      for (const auto& handler : subscribers_) handler(obs);
+    });
+  }
+  for (const auto& prefix : update.withdrawn) {
+    Observation obs;
+    obs.type = ObservationType::kWithdrawal;
+    obs.source = params_.name;
+    obs.vantage = vantage;
+    obs.prefix = prefix;
+    obs.event_time = event_time;
+    const SimDuration latency = sample_latency();
+    obs.delivered_at = event_time + latency;
+    sim.after(latency, [this, obs] {
+      ++delivered_;
+      for (const auto& handler : subscribers_) handler(obs);
+    });
+  }
+}
+
+}  // namespace artemis::feeds

@@ -1,0 +1,435 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace artemis::json {
+
+std::string_view to_string(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void type_error(Type want, Type got) {
+  throw JsonError(std::string("expected ") + std::string(to_string(want)) + ", got " +
+                  std::string(to_string(got)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error(Type::kBool, type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::kNumber) type_error(Type::kNumber, type_);
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  const double n = as_number();
+  const auto i = static_cast<std::int64_t>(n);
+  if (static_cast<double>(i) != n) throw JsonError("number is not an integer");
+  return i;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error(Type::kString, type_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::kArray) type_error(Type::kArray, type_);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::kObject) type_error(Type::kObject, type_);
+  return obj_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::kArray) type_error(Type::kArray, type_);
+  return arr_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::kObject) type_error(Type::kObject, type_);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw JsonError("missing key: " + std::string(key));
+  return *v;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_bool() : fallback;
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_number() : fallback;
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_int() : fallback;
+}
+
+std::string Value::get_string(std::string_view key, std::string_view fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_string() : std::string(fallback);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double n) {
+  if (n == static_cast<double>(static_cast<std::int64_t>(n)) && std::fabs(n) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(n));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_indent = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: number_into(out, num_); break;
+    case Type::kString: escape_into(out, str_); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(depth + 1);
+        escape_into(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError(why + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Value parse_value() {
+    // Depth guard against pathological nesting blowing the stack.
+    if (depth_ > 256) fail("nesting too deep");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': return parse_literal("true", Value(true));
+      case 'f': return parse_literal("false", Value(false));
+      case 'n': return parse_literal("null", Value(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  Value parse_literal(std::string_view lit, Value v) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("invalid literal");
+    pos_ += lit.size();
+    return v;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    // RFC 8259: the integer part is either "0" or starts with 1-9.
+    const bool leading_zero = peek() == '0';
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (leading_zero && pos_ - start > (text_[start] == '-' ? 2u : 1u)) {
+      fail("leading zeros not allowed");
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    double out = 0.0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc() || ptr != last) fail("invalid number");
+    return Value(out);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // Encode as UTF-8 (BMP only; surrogate pairs are rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate pairs unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    ++depth_;
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) break;
+      expect(',');
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  Value parse_object() {
+    expect('{');
+    ++depth_;
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (consume('}')) break;
+      expect(',');
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace artemis::json

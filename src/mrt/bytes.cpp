@@ -1,0 +1,92 @@
+#include "mrt/bytes.hpp"
+
+namespace artemis::mrt {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::size_t ByteWriter::reserve_u16() {
+  const std::size_t offset = buf_.size();
+  buf_.push_back(0);
+  buf_.push_back(0);
+  return offset;
+}
+
+std::size_t ByteWriter::reserve_u32() {
+  const std::size_t offset = buf_.size();
+  buf_.insert(buf_.end(), 4, 0);
+  return offset;
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 24);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v >> 16);
+  buf_.at(offset + 2) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 3) = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  need(n);
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+ByteReader ByteReader::sub(std::size_t n) { return ByteReader(bytes(n)); }
+
+}  // namespace artemis::mrt

@@ -1,0 +1,69 @@
+// Big-endian byte buffer primitives for the MRT codec.
+//
+// All MRT/BGP wire fields are network byte order; these two classes are
+// the only place byte-order handling lives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace artemis::mrt {
+
+/// Thrown by ByteReader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian fields to a growable buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Reserves a 16-bit length slot; returns its offset for patch_u16.
+  std::size_t reserve_u16();
+  /// Reserves a 32-bit length slot; returns its offset for patch_u32.
+  std::size_t reserve_u32();
+  void patch_u16(std::size_t offset, std::uint16_t v);
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes big-endian fields from a fixed buffer; throws DecodeError on
+/// any attempt to read past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::span<const std::uint8_t> bytes(std::size_t n);
+
+  /// A sub-reader over the next `n` bytes (consumes them here).
+  ByteReader sub(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace artemis::mrt

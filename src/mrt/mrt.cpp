@@ -1,0 +1,320 @@
+#include "mrt/mrt.hpp"
+
+#include <cstring>
+
+namespace artemis::mrt {
+namespace {
+
+// BGP message type codes (RFC 4271 §4.1).
+constexpr std::uint8_t kBgpMsgUpdate = 2;
+
+// Path attribute type codes.
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunity = 8;
+
+// Attribute flag bits.
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLen = 0x10;
+
+constexpr std::uint8_t kAsSequence = 2;
+
+void write_nlri_prefix(ByteWriter& w, const net::Prefix& p) {
+  w.u8(static_cast<std::uint8_t>(p.length()));
+  const int nbytes = (p.length() + 7) / 8;
+  w.bytes(std::span(p.address().bytes().data(), static_cast<std::size_t>(nbytes)));
+}
+
+net::Prefix read_nlri_prefix(ByteReader& r, net::IpFamily family) {
+  const int len = r.u8();
+  if (len > family_bits(family)) throw DecodeError("NLRI prefix length out of range");
+  const int nbytes = (len + 7) / 8;
+  std::uint8_t buf[16] = {};
+  const auto raw = r.bytes(static_cast<std::size_t>(nbytes));
+  std::memcpy(buf, raw.data(), raw.size());
+  return net::Prefix(net::IpAddress::from_bytes(family, buf), len);
+}
+
+void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
+                       std::size_t len) {
+  if (len > 255) {
+    w.u8(static_cast<std::uint8_t>(flags | kFlagExtendedLen));
+    w.u8(type);
+    w.u16(static_cast<std::uint16_t>(len));
+  } else {
+    w.u8(flags);
+    w.u8(type);
+    w.u8(static_cast<std::uint8_t>(len));
+  }
+}
+
+}  // namespace
+
+void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
+  // ORIGIN
+  write_attr_header(w, kFlagTransitive, kAttrOrigin, 1);
+  w.u8(static_cast<std::uint8_t>(attrs.origin));
+  // AS_PATH: one AS_SEQUENCE segment, 4-byte ASNs (AS4 format).
+  {
+    const auto& hops = attrs.as_path.hops();
+    const std::size_t seg_len = 2 + 4 * hops.size();
+    write_attr_header(w, kFlagTransitive, kAttrAsPath, seg_len);
+    w.u8(kAsSequence);
+    w.u8(static_cast<std::uint8_t>(hops.size()));
+    for (const auto asn : hops) w.u32(asn);
+  }
+  // NEXT_HOP: not modeled at the AS level; encoded as 0.0.0.0 for wire
+  // completeness and ignored on decode.
+  write_attr_header(w, kFlagTransitive, kAttrNextHop, 4);
+  w.u32(0);
+  // MED
+  write_attr_header(w, kFlagOptional, kAttrMed, 4);
+  w.u32(attrs.med);
+  // LOCAL_PREF
+  write_attr_header(w, kFlagTransitive, kAttrLocalPref, 4);
+  w.u32(attrs.local_pref);
+  // COMMUNITY
+  if (!attrs.communities.empty()) {
+    write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional | kFlagTransitive),
+                      kAttrCommunity, 4 * attrs.communities.size());
+    for (const auto& c : attrs.communities) {
+      w.u16(c.asn);
+      w.u16(c.value);
+    }
+  }
+}
+
+bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
+  bgp::PathAttributes attrs;
+  while (!attrs_reader.done()) {
+    const std::uint8_t flags = attrs_reader.u8();
+    const std::uint8_t type = attrs_reader.u8();
+    const std::size_t len =
+        (flags & kFlagExtendedLen) != 0 ? attrs_reader.u16() : attrs_reader.u8();
+    ByteReader body = attrs_reader.sub(len);
+    switch (type) {
+      case kAttrOrigin: {
+        const std::uint8_t o = body.u8();
+        if (o > 2) throw DecodeError("bad ORIGIN value");
+        attrs.origin = static_cast<bgp::Origin>(o);
+        break;
+      }
+      case kAttrAsPath: {
+        std::vector<bgp::Asn> hops;
+        while (!body.done()) {
+          const std::uint8_t seg_type = body.u8();
+          const std::uint8_t count = body.u8();
+          if (seg_type != kAsSequence) throw DecodeError("unsupported AS_PATH segment");
+          for (int i = 0; i < count; ++i) hops.push_back(body.u32());
+        }
+        attrs.as_path = bgp::AsPath(std::move(hops));
+        break;
+      }
+      case kAttrNextHop:
+        break;  // intentionally ignored (AS-level model)
+      case kAttrMed:
+        attrs.med = body.u32();
+        break;
+      case kAttrLocalPref:
+        attrs.local_pref = body.u32();
+        break;
+      case kAttrCommunity: {
+        while (!body.done()) {
+          bgp::Community c;
+          c.asn = body.u16();
+          c.value = body.u16();
+          attrs.communities.push_back(c);
+        }
+        break;
+      }
+      default:
+        break;  // unknown attributes are skipped (already consumed by sub())
+    }
+  }
+  return attrs;
+}
+
+std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
+  ByteWriter w;
+  // 16-byte marker of all ones.
+  for (int i = 0; i < 16; ++i) w.u8(0xFF);
+  const std::size_t len_slot = w.reserve_u16();
+  w.u8(kBgpMsgUpdate);
+  // Withdrawn routes.
+  const std::size_t wd_slot = w.reserve_u16();
+  const std::size_t wd_start = w.size();
+  for (const auto& p : update.withdrawn) write_nlri_prefix(w, p);
+  w.patch_u16(wd_slot, static_cast<std::uint16_t>(w.size() - wd_start));
+  // Path attributes (omitted entirely for pure withdrawals).
+  const std::size_t attrs_slot = w.reserve_u16();
+  const std::size_t attrs_start = w.size();
+  if (!update.announced.empty()) encode_path_attributes(w, update.attrs);
+  w.patch_u16(attrs_slot, static_cast<std::uint16_t>(w.size() - attrs_start));
+  // NLRI.
+  for (const auto& p : update.announced) write_nlri_prefix(w, p);
+  w.patch_u16(len_slot, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender) {
+  for (int i = 0; i < 16; ++i) {
+    if (reader.u8() != 0xFF) throw DecodeError("bad BGP marker");
+  }
+  const std::uint16_t total_len = reader.u16();
+  if (total_len < 19) throw DecodeError("BGP message too short");
+  const std::uint8_t msg_type = reader.u8();
+  if (msg_type != kBgpMsgUpdate) throw DecodeError("not a BGP UPDATE");
+  ByteReader body = reader.sub(static_cast<std::size_t>(total_len) - 19);
+
+  bgp::UpdateMessage update;
+  update.sender = sender;
+  ByteReader withdrawn = body.sub(body.u16());
+  while (!withdrawn.done()) {
+    update.withdrawn.push_back(read_nlri_prefix(withdrawn, net::IpFamily::kIpv4));
+  }
+  ByteReader attrs = body.sub(body.u16());
+  if (attrs.remaining() > 0) update.attrs = decode_path_attributes(attrs);
+  while (!body.done()) {
+    update.announced.push_back(read_nlri_prefix(body, net::IpFamily::kIpv4));
+  }
+  return update;
+}
+
+void write_raw_record(ByteWriter& writer, RecordType type, std::uint16_t subtype,
+                      SimTime timestamp, std::span<const std::uint8_t> body) {
+  const auto micros = timestamp.as_micros();
+  writer.u32(static_cast<std::uint32_t>(micros / 1'000'000));
+  writer.u16(static_cast<std::uint16_t>(type));
+  writer.u16(subtype);
+  if (type == RecordType::kBgp4mpEt) {
+    // The microsecond field counts toward the record length (RFC 6396 §3).
+    writer.u32(static_cast<std::uint32_t>(body.size() + 4));
+    writer.u32(static_cast<std::uint32_t>(micros % 1'000'000));
+  } else {
+    writer.u32(static_cast<std::uint32_t>(body.size()));
+  }
+  writer.bytes(body);
+}
+
+std::optional<RawRecord> read_raw_record(ByteReader& reader) {
+  if (reader.done()) return std::nullopt;
+  RawRecord rec;
+  const std::uint32_t seconds = reader.u32();
+  rec.type = reader.u16();
+  rec.subtype = reader.u16();
+  std::uint32_t length = reader.u32();
+  std::uint32_t micros = 0;
+  if (rec.type == static_cast<std::uint16_t>(RecordType::kBgp4mpEt)) {
+    if (length < 4) throw DecodeError("ET record too short");
+    micros = reader.u32();
+    length -= 4;
+  }
+  rec.timestamp =
+      SimTime::at_micros(static_cast<std::int64_t>(seconds) * 1'000'000 + micros);
+  const auto body = reader.bytes(length);
+  rec.body.assign(body.begin(), body.end());
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec) {
+  ByteWriter body;
+  body.u32(rec.peer_asn);
+  body.u32(rec.local_asn);
+  body.u16(0);  // interface index
+  body.u16(1);  // address family: IPv4
+  body.u32(rec.peer_ip.is_v4() ? rec.peer_ip.v4_value() : 0);
+  body.u32(0);  // local IP (collector); not modeled
+  const auto msg = encode_bgp_update(rec.update);
+  body.bytes(msg);
+
+  ByteWriter out;
+  write_raw_record(out, RecordType::kBgp4mpEt,
+                   static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4), rec.timestamp,
+                   body.data());
+  return out.take();
+}
+
+UpdateRecord decode_update_record(const RawRecord& raw) {
+  if (raw.type != static_cast<std::uint16_t>(RecordType::kBgp4mpEt) &&
+      raw.type != static_cast<std::uint16_t>(RecordType::kBgp4mp)) {
+    throw DecodeError("not a BGP4MP record");
+  }
+  if (raw.subtype != static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4)) {
+    throw DecodeError("unsupported BGP4MP subtype");
+  }
+  ByteReader r(raw.body);
+  UpdateRecord rec;
+  rec.timestamp = raw.timestamp;
+  rec.peer_asn = r.u32();
+  rec.local_asn = r.u32();
+  r.u16();  // interface index
+  const std::uint16_t afi = r.u16();
+  if (afi != 1) throw DecodeError("only IPv4 BGP4MP supported");
+  rec.peer_ip = net::IpAddress::v4(r.u32());
+  r.u32();  // local IP
+  rec.update = decode_bgp_update(r, rec.peer_asn);
+  rec.update.sent_at = rec.timestamp;
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_table_dump(const std::vector<RibEntryRecord>& entries,
+                                            SimTime snapshot_time) {
+  // Build the peer index: unique peer ASNs in first-appearance order.
+  std::vector<bgp::Asn> peers;
+  auto peer_index = [&peers](bgp::Asn asn) -> std::uint16_t {
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      if (peers[i] == asn) return static_cast<std::uint16_t>(i);
+    }
+    peers.push_back(asn);
+    return static_cast<std::uint16_t>(peers.size() - 1);
+  };
+  struct Indexed {
+    std::uint16_t peer;
+    const RibEntryRecord* rec;
+  };
+  std::vector<Indexed> indexed;
+  indexed.reserve(entries.size());
+  for (const auto& e : entries) indexed.push_back({peer_index(e.peer_asn), &e});
+
+  ByteWriter out;
+  // PEER_INDEX_TABLE
+  {
+    ByteWriter body;
+    body.u32(0);  // collector BGP ID
+    body.u16(0);  // view name length (empty)
+    body.u16(static_cast<std::uint16_t>(peers.size()));
+    for (const auto asn : peers) {
+      body.u8(0x02);  // peer type: AS4, IPv4
+      body.u32(0);    // peer BGP ID
+      body.u32(0);    // peer IP (not modeled)
+      body.u32(asn);
+    }
+    write_raw_record(out, RecordType::kTableDumpV2,
+                     static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable),
+                     snapshot_time, body.data());
+  }
+  // One RIB_IPV4_UNICAST record per entry (sequence numbers increase).
+  std::uint32_t sequence = 0;
+  for (const auto& ix : indexed) {
+    ByteWriter body;
+    body.u32(sequence++);
+    write_nlri_prefix(body, ix.rec->route.prefix);
+    body.u16(1);  // entry count
+    body.u16(ix.peer);
+    body.u32(static_cast<std::uint32_t>(ix.rec->timestamp.as_micros() / 1'000'000));
+    const std::size_t attr_slot = body.reserve_u16();
+    const std::size_t attr_start = body.size();
+    encode_path_attributes(body, ix.rec->route.attrs);
+    body.patch_u16(attr_slot, static_cast<std::uint16_t>(body.size() - attr_start));
+    write_raw_record(out, RecordType::kTableDumpV2,
+                     static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast),
+                     snapshot_time, body.data());
+  }
+  return out.take();
+}
+
+}  // namespace artemis::mrt

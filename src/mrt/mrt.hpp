@@ -1,0 +1,94 @@
+// MRT (RFC 6396) record encoding/decoding.
+//
+// Legacy pipelines the paper compares against (RouteViews / RIPE RIS
+// archives) ship BGP data as MRT files: BGP4MP_ET message records for
+// updates and TABLE_DUMP_V2 records for RIB snapshots. This module
+// implements the subset the reproduction needs, byte-compatible with the
+// RFC for that subset:
+//   * BGP4MP_ET / BGP4MP_MESSAGE_AS4 carrying a BGP UPDATE (IPv4 unicast
+//     NLRI; attributes ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF,
+//     COMMUNITY)
+//   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST with an inline peer index
+// The BatchFeed uses these files verbatim; bench_micro measures codec
+// throughput.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "mrt/bytes.hpp"
+#include "util/time.hpp"
+
+namespace artemis::mrt {
+
+/// MRT header "Type" values (RFC 6396 §4).
+enum class RecordType : std::uint16_t {
+  kTableDumpV2 = 13,
+  kBgp4mp = 16,
+  kBgp4mpEt = 17,  ///< extended timestamp (adds microseconds)
+};
+
+/// Subtypes used by this implementation.
+enum class Bgp4mpSubtype : std::uint16_t { kMessageAs4 = 4 };
+enum class TableDumpV2Subtype : std::uint16_t {
+  kPeerIndexTable = 1,
+  kRibIpv4Unicast = 2,
+};
+
+/// A decoded MRT record header plus raw body.
+struct RawRecord {
+  SimTime timestamp;  ///< seconds + (for *_ET) microseconds
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// A BGP4MP update record: who exchanged the message and the message.
+struct UpdateRecord {
+  bgp::Asn peer_asn = bgp::kNoAsn;   ///< the router that sent the update
+  bgp::Asn local_asn = bgp::kNoAsn;  ///< the collector side
+  net::IpAddress peer_ip;
+  SimTime timestamp;
+  bgp::UpdateMessage update;
+};
+
+/// One RIB entry of a TABLE_DUMP_V2 snapshot.
+struct RibEntryRecord {
+  bgp::Asn peer_asn = bgp::kNoAsn;
+  SimTime timestamp;  ///< originated time of the entry
+  bgp::Route route;
+};
+
+/// Encodes one BGP4MP_ET/MESSAGE_AS4 record (header + body).
+std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec);
+
+/// Decodes the body of a BGP4MP_ET/MESSAGE_AS4 record.
+UpdateRecord decode_update_record(const RawRecord& raw);
+
+/// Encodes a full TABLE_DUMP_V2 snapshot: one PEER_INDEX_TABLE record
+/// followed by one RIB_IPV4_UNICAST record per prefix. `snapshot_time` is
+/// stamped on every record.
+std::vector<std::uint8_t> encode_table_dump(const std::vector<RibEntryRecord>& entries,
+                                            SimTime snapshot_time);
+
+/// Reads the next raw record off a byte stream; nullopt at clean EOF,
+/// DecodeError on a truncated record.
+std::optional<RawRecord> read_raw_record(ByteReader& reader);
+
+/// Writes the MRT common header followed by `body`.
+void write_raw_record(ByteWriter& writer, RecordType type, std::uint16_t subtype,
+                      SimTime timestamp, std::span<const std::uint8_t> body);
+
+/// Encodes just the BGP UPDATE wire message (RFC 4271 §4.3), without the
+/// MRT envelope. Exposed for tests and for the codec microbenchmarks.
+std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update);
+bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender);
+
+/// Path-attribute codec shared by UPDATE bodies and TABLE_DUMP_V2 RIB
+/// entries (both use the RFC 4271 attribute encoding).
+void encode_path_attributes(ByteWriter& writer, const bgp::PathAttributes& attrs);
+bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader);
+
+}  // namespace artemis::mrt

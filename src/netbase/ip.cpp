@@ -1,0 +1,222 @@
+#include "netbase/ip.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace artemis::net {
+
+IpAddress IpAddress::v4(std::uint32_t host_order) {
+  IpAddress a;
+  a.family_ = IpFamily::kIpv4;
+  a.bytes_[0] = static_cast<std::uint8_t>(host_order >> 24);
+  a.bytes_[1] = static_cast<std::uint8_t>(host_order >> 16);
+  a.bytes_[2] = static_cast<std::uint8_t>(host_order >> 8);
+  a.bytes_[3] = static_cast<std::uint8_t>(host_order);
+  return a;
+}
+
+IpAddress IpAddress::v6(std::uint64_t hi, std::uint64_t lo) {
+  IpAddress a;
+  a.family_ = IpFamily::kIpv6;
+  for (int i = 0; i < 8; ++i) {
+    a.bytes_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    a.bytes_[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  return a;
+}
+
+IpAddress IpAddress::from_bytes(IpFamily family, const std::uint8_t* bytes) {
+  IpAddress a;
+  a.family_ = family;
+  std::memcpy(a.bytes_.data(), bytes, family == IpFamily::kIpv4 ? 4 : 16);
+  return a;
+}
+
+std::uint32_t IpAddress::v4_value() const {
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) | static_cast<std::uint32_t>(bytes_[3]);
+}
+
+bool IpAddress::bit(int i) const {
+  const auto byte = static_cast<std::size_t>(i / 8);
+  const int shift = 7 - (i % 8);
+  return ((bytes_[byte] >> shift) & 1U) != 0;
+}
+
+IpAddress IpAddress::with_bit(int i, bool value) const {
+  IpAddress out = *this;
+  const auto byte = static_cast<std::size_t>(i / 8);
+  const auto mask = static_cast<std::uint8_t>(1U << (7 - (i % 8)));
+  if (value) {
+    out.bytes_[byte] |= mask;
+  } else {
+    out.bytes_[byte] &= static_cast<std::uint8_t>(~mask);
+  }
+  return out;
+}
+
+IpAddress IpAddress::masked(int prefix_len) const {
+  IpAddress out = *this;
+  const int total_bytes = bits() / 8;
+  const int full_bytes = prefix_len / 8;  // bytes kept intact
+  const int partial_bits = prefix_len % 8;
+  int byte = full_bytes;
+  if (partial_bits != 0 && byte < total_bytes) {
+    const auto mask = static_cast<std::uint8_t>(0xFF << (8 - partial_bits));
+    out.bytes_[static_cast<std::size_t>(byte)] &= mask;
+    ++byte;
+  }
+  for (; byte < total_bytes; ++byte) {
+    out.bytes_[static_cast<std::size_t>(byte)] = 0;
+  }
+  return out;
+}
+
+int IpAddress::common_prefix_len(const IpAddress& other) const {
+  if (family_ != other.family_) return 0;
+  const int total = bits();
+  for (int i = 0; i < total / 8; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint8_t diff = bytes_[idx] ^ other.bytes_[idx];
+    if (diff != 0) {
+      int lead = 0;
+      for (int b = 7; b >= 0; --b) {
+        if ((diff >> b) & 1U) break;
+        ++lead;
+      }
+      return i * 8 + lead;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    const auto octet = parse_u32(part, 255);
+    if (!octet) return std::nullopt;
+    // Reject leading zeros ("01") to keep representations canonical.
+    if (part.size() > 1 && part[0] == '0') return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return IpAddress::v4(value);
+}
+
+std::optional<std::uint16_t> parse_hex16(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split around at most one "::".
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  const std::size_t gap = text.find("::");
+  std::string_view head_text = text;
+  std::string_view tail_text;
+  bool has_gap = false;
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    head_text = text.substr(0, gap);
+    tail_text = text.substr(gap + 2);
+    if (tail_text.find("::") != std::string_view::npos) return std::nullopt;
+  }
+  const auto parse_groups = [](std::string_view t, std::vector<std::uint16_t>& out) {
+    if (t.empty()) return true;
+    for (const auto g : split(t, ':')) {
+      const auto h = parse_hex16(g);
+      if (!h) return false;
+      out.push_back(*h);
+    }
+    return true;
+  };
+  if (!parse_groups(head_text, head) || !parse_groups(tail_text, tail)) return std::nullopt;
+  const std::size_t total = head.size() + tail.size();
+  if (has_gap) {
+    if (total >= 8) return std::nullopt;  // "::" must compress >= 1 group
+  } else if (total != 8) {
+    return std::nullopt;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) groups[8 - tail.size() + i] = tail[i];
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // RFC 5952: compress the longest run of zero groups (leftmost on ties).
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i) {
+    const auto idx = static_cast<std::size_t>(2 * i);
+    groups[i] = static_cast<std::uint16_t>((bytes_[idx] << 8) | bytes_[idx + 1]);
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // single zero group is not compressed
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace artemis::net

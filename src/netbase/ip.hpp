@@ -1,0 +1,74 @@
+// IP addresses (IPv4 and IPv6) as immutable value types.
+//
+// Addresses are stored big-endian in a fixed 16-byte array; IPv4 uses the
+// first 4 bytes. All prefix arithmetic in prefix.hpp operates on this
+// canonical byte form, so IPv4 and IPv6 share one code path.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace artemis::net {
+
+enum class IpFamily : std::uint8_t { kIpv4 = 4, kIpv6 = 6 };
+
+/// Number of address bits for a family (32 or 128).
+constexpr int family_bits(IpFamily f) { return f == IpFamily::kIpv4 ? 32 : 128; }
+
+/// An immutable IPv4 or IPv6 address.
+class IpAddress {
+ public:
+  /// Default-constructs 0.0.0.0.
+  IpAddress() = default;
+
+  /// IPv4 from a host-order 32-bit value, e.g. 0x0A000001 == 10.0.0.1.
+  static IpAddress v4(std::uint32_t host_order);
+
+  /// IPv6 from two host-order 64-bit halves (hi = first 8 bytes).
+  static IpAddress v6(std::uint64_t hi, std::uint64_t lo);
+
+  /// From raw big-endian bytes (4 or 16 of them, per family).
+  static IpAddress from_bytes(IpFamily family, const std::uint8_t* bytes);
+
+  /// Parses dotted-quad or RFC 4291 text ("10.0.0.1", "2001:db8::1").
+  /// Returns nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  IpFamily family() const { return family_; }
+  bool is_v4() const { return family_ == IpFamily::kIpv4; }
+  int bits() const { return family_bits(family_); }
+
+  /// Host-order value; only valid for IPv4.
+  std::uint32_t v4_value() const;
+
+  /// Raw big-endian bytes; 4 valid bytes for IPv4, 16 for IPv6.
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+  /// The i-th address bit, MSB-first (bit 0 is the top bit). i < bits().
+  bool bit(int i) const;
+
+  /// Returns a copy with the i-th bit set/cleared.
+  IpAddress with_bit(int i, bool value) const;
+
+  /// Returns a copy with all bits below `prefix_len` kept and the rest
+  /// cleared — i.e. the network address for that prefix length.
+  IpAddress masked(int prefix_len) const;
+
+  /// Length (in bits) of the longest common prefix with `other`.
+  /// Addresses of different families share no prefix (returns 0).
+  int common_prefix_len(const IpAddress& other) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  IpFamily family_ = IpFamily::kIpv4;
+  std::array<std::uint8_t, 16> bytes_{};  // big-endian, zero padded
+};
+
+}  // namespace artemis::net

@@ -1,0 +1,91 @@
+#include "netbase/prefix.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace artemis::net {
+
+Prefix::Prefix(IpAddress addr, int length) : addr_(addr.masked(length)), length_(length) {
+  if (length < 0 || length > addr.bits()) {
+    throw std::out_of_range("prefix length out of range");
+  }
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  const auto len = parse_u32(len_text, 128);
+  if (!len) return std::nullopt;
+  if (static_cast<int>(*len) > addr->bits()) return std::nullopt;
+  return Prefix(*addr, static_cast<int>(*len));
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  const auto p = parse(text);
+  if (!p) throw std::invalid_argument("bad prefix: " + std::string(text));
+  return *p;
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.family() != addr_.family()) return false;
+  return addr.common_prefix_len(addr_) >= length_;
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  if (other.family() != family()) return false;
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return covers(other) || other.covers(*this);
+}
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+  if (length_ >= max_length()) {
+    throw std::logic_error("cannot split a host prefix");
+  }
+  const Prefix low(addr_, length_ + 1);
+  const Prefix high(addr_.with_bit(length_, true), length_ + 1);
+  return {low, high};
+}
+
+std::vector<Prefix> Prefix::deaggregate(int target_len) const {
+  if (target_len < length_ || target_len > max_length()) {
+    throw std::out_of_range("deaggregate target out of range");
+  }
+  if (target_len - length_ > 12) {
+    throw std::out_of_range("deaggregate fan-out too large");
+  }
+  std::vector<Prefix> out{*this};
+  for (int l = length_; l < target_len; ++l) {
+    std::vector<Prefix> next;
+    next.reserve(out.size() * 2);
+    for (const auto& p : out) {
+      const auto [lo, hi] = p.split();
+      next.push_back(lo);
+      next.push_back(hi);
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+Prefix Prefix::parent() const {
+  if (length_ == 0) throw std::logic_error("/0 has no parent");
+  return Prefix(addr_, length_ - 1);
+}
+
+std::uint64_t Prefix::size_v4() const {
+  if (!is_v4()) throw std::logic_error("size_v4 on IPv6 prefix");
+  return 1ULL << (32 - length_);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace artemis::net

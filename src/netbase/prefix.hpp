@@ -1,0 +1,94 @@
+// CIDR prefixes and prefix arithmetic.
+//
+// The mitigation service's core operation is *de-aggregation*: splitting a
+// hijacked prefix into its two more-specific halves (10.0.0.0/23 ->
+// 10.0.0.0/24 + 10.0.1.0/24). This header provides that, plus the
+// containment/overlap predicates the detection service uses to match
+// observed routes against the list of owned prefixes.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ip.hpp"
+
+namespace artemis::net {
+
+/// An IP prefix in CIDR form. Invariant: the address is stored in network
+/// form — all bits beyond `length()` are zero (enforced on construction).
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  Prefix() = default;
+
+  /// Canonicalizes: host bits beyond `length` are cleared.
+  Prefix(IpAddress addr, int length);
+
+  /// Parses "10.0.0.0/23" or "2001:db8::/32". Returns nullopt on bad text
+  /// or out-of-range length.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// Parse-or-throw convenience for literals in tests and examples.
+  static Prefix must_parse(std::string_view text);
+
+  const IpAddress& address() const { return addr_; }
+  int length() const { return length_; }
+  IpFamily family() const { return addr_.family(); }
+  bool is_v4() const { return addr_.is_v4(); }
+
+  /// Maximum length for this family (32 or 128).
+  int max_length() const { return addr_.bits(); }
+
+  /// True if `addr` falls inside this prefix.
+  bool contains(const IpAddress& addr) const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const Prefix& other) const;
+
+  /// True if the two prefixes share any address (one covers the other).
+  bool overlaps(const Prefix& other) const;
+
+  /// Splits into the two /(length+1) halves. Requires length < max_length().
+  std::pair<Prefix, Prefix> split() const;
+
+  /// All sub-prefixes of `target_len` covering the same space, in address
+  /// order. Requires length() <= target_len and a sane fan-out
+  /// (target_len - length() <= 12 to bound the result at 4096 prefixes).
+  std::vector<Prefix> deaggregate(int target_len) const;
+
+  /// The enclosing /(length-1) prefix. Requires length() > 0.
+  Prefix parent() const;
+
+  /// Number of addresses covered (IPv4 only; saturates at 2^32).
+  std::uint64_t size_v4() const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Prefix&) const = default;
+
+ private:
+  IpAddress addr_;
+  int length_ = 0;
+};
+
+}  // namespace artemis::net
+
+template <>
+struct std::hash<artemis::net::Prefix> {
+  std::size_t operator()(const artemis::net::Prefix& p) const noexcept {
+    // FNV-1a over the address bytes and the length.
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const auto b : p.address().bytes()) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= static_cast<std::size_t>(p.length());
+    h *= 0x100000001b3ULL;
+    h ^= static_cast<std::size_t>(p.family());
+    return h;
+  }
+};

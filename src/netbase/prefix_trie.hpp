@@ -1,0 +1,190 @@
+// A binary radix trie keyed by IP prefixes.
+//
+// This is the lookup structure behind every RIB and behind the detection
+// service's owned-prefix matching: longest-prefix match answers "which of
+// my routes forwards this address", and subtree iteration answers "which
+// observed routes fall inside an owned prefix" (sub-prefix hijacks).
+//
+// The trie is a path-uncompressed binary trie: simple, predictable, and
+// fast enough (LPM is O(length) bit probes; bench_micro measures it). One
+// trie holds one address family; RIBs keep one per family.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace artemis::net {
+
+/// Maps Prefix -> T with longest-prefix-match and covered-subtree queries.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Inserts or overwrites. Returns true if the prefix was newly inserted.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend_or_create(prefix);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Removes an exact prefix. Returns true if it was present.
+  /// (Nodes are left in place; they are reused on re-insertion. RIB churn
+  /// makes free-and-reallocate a pessimization.)
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  const T* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  T* find(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for a full address. Returns the matched prefix
+  /// and value, or nullopt if nothing covers the address.
+  std::optional<std::pair<Prefix, const T*>> lookup(const IpAddress& addr) const {
+    const Node* node = &root(addr.family());
+    const Node* best = node->value.has_value() ? node : nullptr;
+    int best_depth = 0;
+    const int total = addr.bits();
+    int depth = 0;
+    while (depth < total) {
+      const Node* next = node->child[addr.bit(depth) ? 1 : 0].get();
+      if (next == nullptr) break;
+      node = next;
+      ++depth;
+      if (node->value.has_value()) {
+        best = node;
+        best_depth = depth;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Prefix(addr.masked(best_depth), best_depth), &*best->value);
+  }
+
+  /// The most-specific stored prefix covering `p` (including `p` itself).
+  std::optional<std::pair<Prefix, const T*>> lookup_covering(const Prefix& p) const {
+    const Node* node = &root(p.family());
+    const Node* best = node->value.has_value() ? node : nullptr;
+    int best_depth = 0;
+    int depth = 0;
+    while (depth < p.length()) {
+      const Node* next = node->child[p.address().bit(depth) ? 1 : 0].get();
+      if (next == nullptr) break;
+      node = next;
+      ++depth;
+      if (node->value.has_value()) {
+        best = node;
+        best_depth = depth;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Prefix(p.address().masked(best_depth), best_depth), &*best->value);
+  }
+
+  /// Visits every stored entry covering `p` (equal or less specific) in
+  /// root-to-leaf order — i.e. all ancestors of `p` including `p` itself.
+  void visit_covering(const Prefix& p,
+                      const std::function<void(const Prefix&, const T&)>& fn) const {
+    const Node* node = &root(p.family());
+    if (node->value.has_value()) fn(Prefix(p.address().masked(0), 0), *node->value);
+    int depth = 0;
+    while (depth < p.length()) {
+      node = node->child[p.address().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) return;
+      ++depth;
+      if (node->value.has_value()) {
+        fn(Prefix(p.address().masked(depth), depth), *node->value);
+      }
+    }
+  }
+
+  /// Visits every stored entry covered by `p` (equal or more specific),
+  /// in depth-first address order.
+  void visit_covered(const Prefix& p,
+                     const std::function<void(const Prefix&, const T&)>& fn) const {
+    const Node* node = descend(p);
+    if (node == nullptr) return;
+    visit_subtree(*node, p.address(), p.length(), fn);
+  }
+
+  /// Visits all entries of both families.
+  void visit_all(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit_subtree(root4_, IpAddress::v4(0), 0, fn);
+    visit_subtree(root6_, IpAddress::v6(0, 0), 0, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root4_ = Node{};
+    root6_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  const Node& root(IpFamily f) const { return f == IpFamily::kIpv4 ? root4_ : root6_; }
+  Node& root(IpFamily f) { return f == IpFamily::kIpv4 ? root4_ : root6_; }
+
+  const Node* descend(const Prefix& p) const {
+    const Node* node = &root(p.family());
+    for (int depth = 0; depth < p.length(); ++depth) {
+      node = node->child[p.address().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  Node* descend(const Prefix& p) {
+    return const_cast<Node*>(static_cast<const PrefixTrie*>(this)->descend(p));
+  }
+
+  Node* descend_or_create(const Prefix& p) {
+    Node* node = &root(p.family());
+    for (int depth = 0; depth < p.length(); ++depth) {
+      auto& slot = node->child[p.address().bit(depth) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+    }
+    return node;
+  }
+
+  void visit_subtree(const Node& node, IpAddress addr, int depth,
+                     const std::function<void(const Prefix&, const T&)>& fn) const {
+    if (node.value.has_value()) fn(Prefix(addr, depth), *node.value);
+    if (depth >= addr.bits()) return;
+    if (node.child[0]) visit_subtree(*node.child[0], addr, depth + 1, fn);
+    if (node.child[1]) {
+      visit_subtree(*node.child[1], addr.with_bit(depth, true), depth + 1, fn);
+    }
+  }
+
+  Node root4_;
+  Node root6_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace artemis::net

@@ -1,0 +1,89 @@
+#include "rpki/roa.hpp"
+
+#include <stdexcept>
+
+namespace artemis::rpki {
+
+std::string_view to_string(Validity v) {
+  switch (v) {
+    case Validity::kNotFound: return "not-found";
+    case Validity::kValid: return "valid";
+    case Validity::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+void RoaTable::add(Roa roa) {
+  if (roa.asn == bgp::kNoAsn) throw std::invalid_argument("ROA needs a real ASN");
+  const int max_len = roa.effective_max_length();
+  if (max_len < roa.prefix.length() || max_len > roa.prefix.max_length()) {
+    throw std::invalid_argument("ROA maxLength out of range");
+  }
+  if (auto* existing = table_.find(roa.prefix)) {
+    existing->push_back(roa);
+  } else {
+    table_.insert(roa.prefix, {roa});
+  }
+  ++count_;
+}
+
+std::vector<Roa> RoaTable::covering(const net::Prefix& prefix) const {
+  std::vector<Roa> out;
+  table_.visit_covering(prefix,
+                        [&out](const net::Prefix&, const std::vector<Roa>& roas) {
+                          out.insert(out.end(), roas.begin(), roas.end());
+                        });
+  return out;
+}
+
+Validity RoaTable::validate(const net::Prefix& prefix, bgp::Asn origin) const {
+  bool any_covering = false;
+  bool valid = false;
+  table_.visit_covering(prefix, [&](const net::Prefix&, const std::vector<Roa>& roas) {
+    for (const auto& roa : roas) {
+      any_covering = true;
+      if (roa.asn == origin && prefix.length() <= roa.effective_max_length()) {
+        valid = true;
+      }
+    }
+  });
+  if (!any_covering) return Validity::kNotFound;
+  return valid ? Validity::kValid : Validity::kInvalid;
+}
+
+RoaTable RoaTable::from_json(const json::Value& doc) {
+  RoaTable table;
+  for (const auto& entry : doc.at("roas").as_array()) {
+    Roa roa;
+    const auto prefix_text = entry.at("prefix").as_string();
+    const auto prefix = net::Prefix::parse(prefix_text);
+    if (!prefix) throw std::invalid_argument("bad ROA prefix: " + prefix_text);
+    roa.prefix = *prefix;
+    const auto asn = entry.at("asn").as_int();
+    if (asn <= 0 || asn > 0xFFFFFFFFLL) throw std::invalid_argument("bad ROA asn");
+    roa.asn = static_cast<bgp::Asn>(asn);
+    roa.max_length = static_cast<int>(entry.get_int("maxLength", 0));
+    table.add(roa);
+  }
+  return table;
+}
+
+json::Value RoaTable::to_json() const {
+  json::Array roas;
+  table_.visit_all([&roas](const net::Prefix&, const std::vector<Roa>& entries) {
+    for (const auto& roa : entries) {
+      json::Object entry;
+      entry["prefix"] = json::Value(roa.prefix.to_string());
+      entry["asn"] = json::Value(static_cast<std::int64_t>(roa.asn));
+      if (roa.max_length != 0) {
+        entry["maxLength"] = json::Value(static_cast<std::int64_t>(roa.max_length));
+      }
+      roas.emplace_back(std::move(entry));
+    }
+  });
+  json::Object doc;
+  doc["roas"] = json::Value(std::move(roas));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace artemis::rpki

@@ -1,0 +1,89 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace artemis::sim {
+
+std::uint64_t Network::link_key(bgp::Asn a, bgp::Asn b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+Network::Network(const topo::AsGraph& graph, const NetworkParams& params, Rng rng)
+    : graph_(graph), params_(params), rng_(rng) {
+  topo::PolicyConfig policy;
+  policy.max_accepted_prefix_len = params_.max_accepted_prefix_len;
+
+  auto rov_rng = rng_.fork("rov-deployment");
+  for (const auto asn : graph_.all_ases()) {
+    auto speaker_rng = rng_.fork("speaker-" + std::to_string(asn));
+    auto speaker = std::make_unique<BgpSpeaker>(
+        sim_, asn, policy, speaker_rng,
+        [this, asn](bgp::Asn to, const bgp::UpdateMessage& update) {
+          transmit(asn, to, update);
+        });
+    if (params_.roa_table != nullptr && rov_rng.chance(params_.rov_fraction)) {
+      speaker->enable_rov(params_.roa_table);
+      ++rov_enforcers_;
+    }
+    speakers_.emplace(asn, std::move(speaker));
+  }
+  // Sample symmetric link delays and create sessions on both ends.
+  for (const auto asn : graph_.all_ases()) {
+    for (const auto& neighbor : graph_.neighbors(asn)) {
+      const auto key = link_key(asn, neighbor.asn);
+      if (!link_delays_.contains(key)) {
+        link_delays_.emplace(
+            key, rng_.uniform_duration(params_.min_link_delay, params_.max_link_delay));
+      }
+      SessionConfig session;
+      session.peer = neighbor.asn;
+      session.relationship = neighbor.relationship;
+      session.mrai = params_.mrai;
+      speakers_.at(asn)->add_session(session);
+    }
+  }
+}
+
+BgpSpeaker& Network::speaker(bgp::Asn asn) {
+  const auto it = speakers_.find(asn);
+  if (it == speakers_.end()) throw std::invalid_argument("unknown AS" + std::to_string(asn));
+  return *it->second;
+}
+
+const BgpSpeaker& Network::speaker(bgp::Asn asn) const {
+  return const_cast<Network*>(this)->speaker(asn);
+}
+
+SimDuration Network::link_delay(bgp::Asn a, bgp::Asn b) const {
+  const auto it = link_delays_.find(link_key(a, b));
+  if (it == link_delays_.end()) throw std::invalid_argument("no such link");
+  return it->second;
+}
+
+void Network::transmit(bgp::Asn from, bgp::Asn to, const bgp::UpdateMessage& update) {
+  const SimDuration delay =
+      link_delay(from, to) +
+      SimDuration::seconds(rng_.exponential(params_.processing_delay_mean.as_seconds()));
+  BgpSpeaker* receiver = speakers_.at(to).get();
+  sim_.after(delay, [receiver, update, from] { receiver->receive(update, from); });
+}
+
+bgp::Asn Network::resolve_origin(bgp::Asn vantage, const net::IpAddress& addr) const {
+  return speaker(vantage).resolve_origin(addr);
+}
+
+SpeakerStats Network::total_stats() const {
+  SpeakerStats total;
+  for (const auto& [asn, speaker] : speakers_) {
+    total.updates_sent += speaker->stats().updates_sent;
+    total.updates_received += speaker->stats().updates_received;
+    total.prefixes_filtered_too_specific += speaker->stats().prefixes_filtered_too_specific;
+    total.loops_dropped += speaker->stats().loops_dropped;
+    total.rov_dropped += speaker->stats().rov_dropped;
+  }
+  return total;
+}
+
+}  // namespace artemis::sim

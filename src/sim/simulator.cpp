@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace artemis::sim {
+
+void Simulator::at(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;  // past-dated events run at the current instant
+  queue_.push(Scheduled{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast
+  // (safe: the element is popped immediately after).
+  auto& top = const_cast<Scheduled&>(queue_.top());
+  now_ = top.when;
+  EventFn fn = std::move(top.fn);
+  queue_.pop();
+  ++processed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= t) {
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n > max_events) throw std::runtime_error("simulation exceeded event budget");
+  }
+  return n;
+}
+
+SimTime Simulator::next_event_time() const {
+  return queue_.empty() ? SimTime::never() : queue_.top().when;
+}
+
+}  // namespace artemis::sim

@@ -1,0 +1,220 @@
+#include "sim/speaker.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace artemis::sim {
+
+BgpSpeaker::BgpSpeaker(Simulator& sim, bgp::Asn self, topo::PolicyConfig policy, Rng rng,
+                       TransmitFn transmit)
+    : sim_(sim),
+      self_(self),
+      policy_(policy),
+      rng_(rng),
+      transmit_(std::move(transmit)) {
+  if (self_ == bgp::kNoAsn) throw std::invalid_argument("speaker needs a real ASN");
+}
+
+void BgpSpeaker::add_session(const SessionConfig& config) {
+  if (config.peer == bgp::kNoAsn || config.peer == self_) {
+    throw std::invalid_argument("bad session peer");
+  }
+  const auto [it, inserted] = sessions_.try_emplace(config.peer);
+  if (!inserted) throw std::invalid_argument("duplicate session");
+  it->second.config = config;
+  if (config.mrai > SimDuration::zero()) {
+    it->second.scan_phase = rng_.uniform_duration(SimDuration::zero(), config.mrai);
+  }
+  session_order_.push_back(config.peer);
+}
+
+void BgpSpeaker::originate(const net::Prefix& prefix) {
+  originate_with_path(prefix, bgp::AsPath::origin_only(self_));
+}
+
+void BgpSpeaker::originate_with_path(const net::Prefix& prefix, const bgp::AsPath& path) {
+  bgp::Route route;
+  route.prefix = prefix;
+  route.attrs.as_path = path;
+  route.attrs.local_pref = policy_.bands.self;
+  route.learned_from = bgp::kNoAsn;
+  route.installed_at = sim_.now();
+  originated_.insert(prefix);
+  if (const auto change = rib_.announce(route)) on_best_change(*change);
+}
+
+void BgpSpeaker::withdraw_origin(const net::Prefix& prefix) {
+  originated_.erase(prefix);
+  if (const auto change = rib_.withdraw(prefix, bgp::kNoAsn)) on_best_change(*change);
+}
+
+void BgpSpeaker::receive(const bgp::UpdateMessage& update, bgp::Asn from) {
+  ++stats_.updates_received;
+  const auto session_it = sessions_.find(from);
+  if (session_it == sessions_.end()) return;  // session torn down; stale delivery
+  const auto relationship = session_it->second.config.relationship;
+
+  for (const auto& prefix : update.announced) {
+    if (update.attrs.as_path.contains(self_)) {
+      ++stats_.loops_dropped;
+      continue;
+    }
+    if (prefix.length() > policy_.max_accepted_prefix_len) {
+      ++stats_.prefixes_filtered_too_specific;
+      continue;
+    }
+    if (rov_table_ != nullptr &&
+        rov_table_->validate(prefix, update.attrs.as_path.origin_as()) ==
+            rpki::Validity::kInvalid) {
+      ++stats_.rov_dropped;
+      continue;
+    }
+    bgp::Route route;
+    route.prefix = prefix;
+    route.attrs = update.attrs;
+    route.attrs.local_pref = policy_.bands.for_relationship(relationship);
+    route.learned_from = from;
+    route.installed_at = sim_.now();
+    if (const auto change = rib_.announce(route)) on_best_change(*change);
+  }
+  for (const auto& prefix : update.withdrawn) {
+    if (const auto change = rib_.withdraw(prefix, from)) on_best_change(*change);
+  }
+}
+
+const bgp::Route* BgpSpeaker::best_route(const net::Prefix& prefix) const {
+  return rib_.best(prefix);
+}
+
+std::optional<bgp::Route> BgpSpeaker::forwarding_route(const net::IpAddress& addr) const {
+  return rib_.lookup(addr);
+}
+
+bgp::Asn BgpSpeaker::resolve_origin(const net::IpAddress& addr) const {
+  const auto route = rib_.lookup(addr);
+  if (!route) return bgp::kNoAsn;
+  // Self-originated routes carry path [self]; learned routes end at the
+  // origin AS either way.
+  return route->origin_as();
+}
+
+void BgpSpeaker::on_best_change(const bgp::BestRouteChange& change) {
+  if (!change_taps_.empty()) {
+    bgp::UpdateMessage tap_update;
+    tap_update.sender = self_;
+    tap_update.sent_at = sim_.now();
+    if (change.new_best.has_value()) {
+      tap_update.attrs = change.new_best->attrs;
+      if (change.new_best->learned_from != bgp::kNoAsn) {
+        tap_update.attrs.as_path = tap_update.attrs.as_path.prepended(self_);
+      }
+      tap_update.announced.push_back(change.prefix);
+    } else {
+      tap_update.withdrawn.push_back(change.prefix);
+    }
+    for (const auto& tap : change_taps_) tap(tap_update);
+  }
+  for (const auto peer : session_order_) {
+    Session& session = sessions_.at(peer);
+    session.pending.insert(change.prefix);
+    schedule_flush(session);
+  }
+}
+
+SimTime BgpSpeaker::next_scan_tick(const Session& session, SimTime t) const {
+  const std::int64_t period = session.config.mrai.as_micros();
+  if (period <= 0) return t;
+  const std::int64_t phase = session.scan_phase.as_micros();
+  const std::int64_t now_us = t.as_micros();
+  if (now_us <= phase) return SimTime::at_micros(phase);
+  const std::int64_t k = (now_us - phase + period - 1) / period;  // ceil
+  return SimTime::at_micros(phase + k * period);
+}
+
+void BgpSpeaker::schedule_flush(Session& session) {
+  if (session.flush_scheduled) return;
+  session.flush_scheduled = true;
+  const SimTime when = next_scan_tick(session, sim_.now());
+  const bgp::Asn peer = session.config.peer;
+  sim_.at(when, [this, peer] { flush_session(peer); });
+}
+
+void BgpSpeaker::flush_session(bgp::Asn peer) {
+  Session& session = sessions_.at(peer);
+  session.flush_scheduled = false;
+  if (session.pending.empty()) return;
+
+  // Batch all pending changes into as few updates as the wire format
+  // allows: withdrawals ride together; announcements group by attributes.
+  std::vector<bgp::UpdateMessage> to_send;
+  bgp::UpdateMessage withdrawals;
+  withdrawals.sender = self_;
+  for (const auto& prefix : session.pending) {
+    auto update = build_export(session, prefix);
+    if (!update) continue;
+    if (update->is_withdrawal()) {
+      withdrawals.withdrawn.push_back(prefix);
+    } else {
+      bool merged = false;
+      for (auto& existing : to_send) {
+        if (existing.attrs == update->attrs) {
+          existing.announced.push_back(prefix);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) to_send.push_back(std::move(*update));
+    }
+  }
+  session.pending.clear();
+  if (!withdrawals.withdrawn.empty()) to_send.push_back(std::move(withdrawals));
+  if (to_send.empty()) return;
+
+  for (auto& update : to_send) {
+    update.sent_at = sim_.now();
+    ++stats_.updates_sent;
+    transmit_(peer, update);
+  }
+}
+
+bool BgpSpeaker::eligible_for_export(const bgp::Route& route,
+                                     const Session& session) const {
+  // Never echo a route back to the neighbor it came from.
+  if (route.learned_from == session.config.peer) return false;
+  const bool self_originated = route.learned_from == bgp::kNoAsn;
+  topo::Relationship learned_rel = topo::Relationship::kProvider;
+  if (!self_originated) {
+    const auto it = sessions_.find(route.learned_from);
+    if (it != sessions_.end()) learned_rel = it->second.config.relationship;
+  }
+  return topo::may_export(learned_rel, session.config.relationship, self_originated);
+}
+
+std::optional<bgp::UpdateMessage> BgpSpeaker::build_export(Session& session,
+                                                           const net::Prefix& prefix) {
+  const bgp::Route* best = rib_.best(prefix);
+  const bool exportable = best != nullptr && eligible_for_export(*best, session);
+  if (exportable) {
+    bgp::UpdateMessage update;
+    update.sender = self_;
+    update.attrs = best->attrs;
+    if (best->learned_from != bgp::kNoAsn) {
+      update.attrs.as_path = update.attrs.as_path.prepended(self_);
+    }
+    // LOCAL_PREF is not transitive across eBGP; receivers assign their own.
+    update.attrs.local_pref = 100;
+    update.announced.push_back(prefix);
+    session.advertised.insert(prefix);
+    return update;
+  }
+  if (session.advertised.erase(prefix) > 0) {
+    bgp::UpdateMessage update;
+    update.sender = self_;
+    update.withdrawn.push_back(prefix);
+    return update;
+  }
+  return std::nullopt;
+}
+
+}  // namespace artemis::sim

@@ -1,0 +1,144 @@
+// A BGP speaker: one AS's routing process in the simulation.
+//
+// Each speaker owns a LocRib, applies Gao–Rexford import preferences and
+// valley-free export filters derived from its sessions' relationships,
+// rate-limits advertisements with a per-session MRAI timer, and filters
+// too-specific prefixes on import. Message transmission is delegated to
+// the Network through a callback, keeping the speaker testable in
+// isolation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/update.hpp"
+#include "sim/simulator.hpp"
+#include "rpki/roa.hpp"
+#include "topology/policy.hpp"
+#include "util/rng.hpp"
+
+namespace artemis::sim {
+
+/// Configuration of one eBGP session from the local speaker's view.
+struct SessionConfig {
+  bgp::Asn peer = bgp::kNoAsn;
+  topo::Relationship relationship = topo::Relationship::kPeer;
+  /// Advertisement pacing (MRAI / periodic update-generation scan), the
+  /// dominant source of per-hop propagation delay in the real Internet.
+  /// Advertisements are emitted on a per-session clock with this period
+  /// and a random phase, giving each hop a uniform[0, mrai] delay on
+  /// average — the behaviour classic router implementations exhibit.
+  /// 0 disables pacing entirely (ablation in bench_mitigation_timeline).
+  SimDuration mrai = SimDuration::seconds(30);
+};
+
+/// Counters the benches report (monitoring overhead, E5).
+struct SpeakerStats {
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t prefixes_filtered_too_specific = 0;
+  std::uint64_t loops_dropped = 0;
+  std::uint64_t rov_dropped = 0;  ///< RPKI-invalid announcements rejected
+};
+
+class BgpSpeaker {
+ public:
+  /// `transmit` is invoked when this speaker emits an update on a session;
+  /// the network is responsible for delay and delivery.
+  using TransmitFn = std::function<void(bgp::Asn to, const bgp::UpdateMessage&)>;
+  /// Observer of local best-route changes (route collectors tap this).
+  using ChangeTapFn = std::function<void(const bgp::UpdateMessage&)>;
+
+  BgpSpeaker(Simulator& sim, bgp::Asn self, topo::PolicyConfig policy, Rng rng,
+             TransmitFn transmit);
+
+  bgp::Asn asn() const { return self_; }
+
+  void add_session(const SessionConfig& config);
+  bool has_session(bgp::Asn peer) const { return sessions_.contains(peer); }
+
+  /// Originates `prefix` from this AS (path = [self]).
+  void originate(const net::Prefix& prefix);
+
+  /// Originates with a forged path (used to emulate Type-1/Type-N hijacks,
+  /// where the attacker claims adjacency to the victim). The path must end
+  /// at the claimed origin; `self` is NOT implicitly added.
+  void originate_with_path(const net::Prefix& prefix, const bgp::AsPath& path);
+
+  /// Withdraws a previously originated prefix.
+  void withdraw_origin(const net::Prefix& prefix);
+
+  /// Enables RPKI route-origin validation on import: announcements whose
+  /// (prefix, origin) validate kInvalid against `table` are dropped.
+  /// `table` must outlive the speaker. Models an ROV-enforcing network.
+  void enable_rov(const rpki::RoaTable* table) { rov_table_ = table; }
+  bool rov_enabled() const { return rov_table_ != nullptr; }
+
+  /// Delivers an update from `from` (called by the Network at arrival time).
+  void receive(const bgp::UpdateMessage& update, bgp::Asn from);
+
+  /// Current best route for exactly `prefix`, if any.
+  const bgp::Route* best_route(const net::Prefix& prefix) const;
+
+  /// Longest-prefix-match: the route this AS uses for `addr`.
+  std::optional<bgp::Route> forwarding_route(const net::IpAddress& addr) const;
+
+  /// The origin AS this speaker's traffic for `addr` ends at (kNoAsn if
+  /// the address is unrouted here).
+  bgp::Asn resolve_origin(const net::IpAddress& addr) const;
+
+  const bgp::LocRib& rib() const { return rib_; }
+  const SpeakerStats& stats() const { return stats_; }
+
+  /// Installs a full-feed tap: every best-route change is reported as the
+  /// update this speaker would send on an unfiltered monitoring session
+  /// (no MRAI pacing — collectors see changes immediately; feed modules
+  /// add their own delivery latency). Multiple taps may be installed
+  /// (e.g. a RIS collector and a BGPmon collector on the same vantage).
+  void add_change_tap(ChangeTapFn tap) { change_taps_.push_back(std::move(tap)); }
+
+ private:
+  struct Session {
+    SessionConfig config;
+    /// Prefixes with not-yet-flushed changes.
+    std::set<net::Prefix> pending;
+    /// Prefixes currently advertised to this peer (to suppress spurious
+    /// withdrawals and to generate real ones).
+    std::unordered_set<net::Prefix> advertised;
+    /// Random phase of this session's advertisement clock in [0, mrai).
+    SimDuration scan_phase;
+    bool flush_scheduled = false;
+  };
+
+  /// The first advertisement-clock tick at or after `t` for `session`.
+  SimTime next_scan_tick(const Session& session, SimTime t) const;
+
+  void on_best_change(const bgp::BestRouteChange& change);
+  void schedule_flush(Session& session);
+  void flush_session(bgp::Asn peer);
+  /// The update (announce or withdraw) this speaker would send to
+  /// `session` for `prefix` right now, or nullopt if nothing to send.
+  std::optional<bgp::UpdateMessage> build_export(Session& session,
+                                                 const net::Prefix& prefix);
+  bool eligible_for_export(const bgp::Route& route, const Session& session) const;
+
+  Simulator& sim_;
+  bgp::Asn self_;
+  topo::PolicyConfig policy_;
+  Rng rng_;
+  TransmitFn transmit_;
+  std::vector<ChangeTapFn> change_taps_;
+  bgp::LocRib rib_;
+  std::unordered_map<bgp::Asn, Session> sessions_;
+  std::vector<bgp::Asn> session_order_;  ///< deterministic iteration
+  std::unordered_set<net::Prefix> originated_;
+  const rpki::RoaTable* rov_table_ = nullptr;
+  SpeakerStats stats_;
+};
+
+}  // namespace artemis::sim

@@ -1,0 +1,161 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/strings.hpp"
+
+namespace artemis::topo {
+
+std::string_view to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+void AsGraph::add_as(bgp::Asn asn, Tier tier) {
+  if (asn == bgp::kNoAsn) throw std::invalid_argument("ASN 0 is reserved");
+  const auto [it, inserted] = nodes_.try_emplace(asn);
+  if (inserted) {
+    it->second.tier = tier;
+    order_.push_back(asn);
+  }
+}
+
+bool AsGraph::has_as(bgp::Asn asn) const { return nodes_.contains(asn); }
+
+AsGraph::NodeData& AsGraph::node(bgp::Asn asn) {
+  const auto it = nodes_.find(asn);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("unknown AS" + std::to_string(asn));
+  }
+  return it->second;
+}
+
+const AsGraph::NodeData& AsGraph::node(bgp::Asn asn) const {
+  return const_cast<AsGraph*>(this)->node(asn);
+}
+
+void AsGraph::add_customer_link(bgp::Asn provider, bgp::Asn customer) {
+  if (provider == customer) throw std::invalid_argument("self link");
+  if (has_link(provider, customer)) throw std::invalid_argument("duplicate link");
+  // Resolve both endpoints before mutating either (strong exception
+  // safety: a bad ASN must not leave a half-installed link).
+  NodeData& provider_node = node(provider);
+  NodeData& customer_node = node(customer);
+  provider_node.neighbors.push_back({customer, Relationship::kCustomer});
+  customer_node.neighbors.push_back({provider, Relationship::kProvider});
+  ++link_count_;
+}
+
+void AsGraph::add_peer_link(bgp::Asn a, bgp::Asn b) {
+  if (a == b) throw std::invalid_argument("self link");
+  if (has_link(a, b)) throw std::invalid_argument("duplicate link");
+  NodeData& a_node = node(a);
+  NodeData& b_node = node(b);
+  a_node.neighbors.push_back({b, Relationship::kPeer});
+  b_node.neighbors.push_back({a, Relationship::kPeer});
+  ++link_count_;
+}
+
+bool AsGraph::has_link(bgp::Asn a, bgp::Asn b) const {
+  const auto it = nodes_.find(a);
+  if (it == nodes_.end()) return false;
+  for (const auto& n : it->second.neighbors) {
+    if (n.asn == b) return true;
+  }
+  return false;
+}
+
+std::optional<Relationship> AsGraph::relationship(bgp::Asn local, bgp::Asn neighbor) const {
+  const auto it = nodes_.find(local);
+  if (it == nodes_.end()) return std::nullopt;
+  for (const auto& n : it->second.neighbors) {
+    if (n.asn == neighbor) return n.relationship;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Neighbor>& AsGraph::neighbors(bgp::Asn asn) const {
+  return node(asn).neighbors;
+}
+
+Tier AsGraph::tier(bgp::Asn asn) const { return node(asn).tier; }
+
+void AsGraph::set_tier(bgp::Asn asn, Tier tier) { node(asn).tier = tier; }
+
+std::vector<bgp::Asn> AsGraph::ases_in_tier(Tier tier) const {
+  std::vector<bgp::Asn> out;
+  for (const auto asn : order_) {
+    if (nodes_.at(asn).tier == tier) out.push_back(asn);
+  }
+  return out;
+}
+
+std::vector<bgp::Asn> AsGraph::neighbors_with(bgp::Asn asn, Relationship r) const {
+  std::vector<bgp::Asn> out;
+  for (const auto& n : node(asn).neighbors) {
+    if (n.relationship == r) out.push_back(n.asn);
+  }
+  return out;
+}
+
+std::string AsGraph::serialize() const {
+  // Canonical form: one line per undirected link, numerically sorted, so
+  // any two structurally equal graphs serialize identically.
+  std::vector<std::tuple<bgp::Asn, bgp::Asn, int>> links;
+  for (const auto asn : order_) {
+    for (const auto& n : nodes_.at(asn).neighbors) {
+      if (n.relationship == Relationship::kCustomer) {
+        links.emplace_back(asn, n.asn, -1);
+      } else if (n.relationship == Relationship::kPeer && asn < n.asn) {
+        links.emplace_back(asn, n.asn, 0);
+      }
+    }
+  }
+  std::sort(links.begin(), links.end());
+  std::string out = "# as-rel: <provider>|<customer>|-1 or <peer>|<peer>|0\n";
+  for (const auto& [a, b, rel] : links) {
+    out += std::to_string(a) + "|" + std::to_string(b) + "|" + std::to_string(rel) + "\n";
+  }
+  return out;
+}
+
+AsGraph AsGraph::parse(std::string_view text) {
+  AsGraph graph;
+  for (const auto raw_line : split(text, '\n')) {
+    const auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split(line, '|');
+    if (fields.size() != 3) throw std::invalid_argument("bad as-rel line");
+    const auto a = parse_u32(trim(fields[0]));
+    const auto b = parse_u32(trim(fields[1]));
+    const auto rel = trim(fields[2]);
+    if (!a || !b) throw std::invalid_argument("bad ASN in as-rel line");
+    graph.add_as(*a);
+    graph.add_as(*b);
+    if (rel == "-1") {
+      graph.add_customer_link(*a, *b);
+    } else if (rel == "0") {
+      graph.add_peer_link(*a, *b);
+    } else {
+      throw std::invalid_argument("bad relationship in as-rel line");
+    }
+  }
+  return graph;
+}
+
+}  // namespace artemis::topo

@@ -1,0 +1,106 @@
+// The AS-level Internet graph with business relationships.
+//
+// Inter-domain routing policy is driven by bilateral relationships
+// (customer-provider or settlement-free peer, the Gao–Rexford model).
+// AsGraph stores the annotated graph; policy.hpp derives import
+// preferences and export filters from it; the generator builds synthetic
+// Internets with realistic hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace artemis::topo {
+
+/// The role of a *neighbor* relative to the local AS.
+enum class Relationship : std::uint8_t {
+  kCustomer,  ///< the neighbor pays us for transit
+  kPeer,      ///< settlement-free peering
+  kProvider,  ///< we pay the neighbor for transit
+};
+
+std::string_view to_string(Relationship r);
+
+/// Flips the perspective (my customer sees me as its provider).
+Relationship reverse(Relationship r);
+
+/// Where an AS sits in the generated hierarchy (informational; routing
+/// policy derives from relationships only).
+enum class Tier : std::uint8_t { kTier1 = 1, kTier2 = 2, kStub = 3 };
+
+struct Neighbor {
+  bgp::Asn asn = bgp::kNoAsn;
+  Relationship relationship = Relationship::kPeer;
+};
+
+/// An undirected AS graph with per-edge relationships. Value-semantic.
+class AsGraph {
+ public:
+  /// Adds an AS (idempotent). Tier defaults to stub until set.
+  void add_as(bgp::Asn asn, Tier tier = Tier::kStub);
+
+  bool has_as(bgp::Asn asn) const;
+  std::size_t as_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return link_count_; }
+
+  /// Declares `customer` a customer of `provider`. Both ASes must exist.
+  /// Throws std::invalid_argument on self-links or duplicate links.
+  void add_customer_link(bgp::Asn provider, bgp::Asn customer);
+
+  /// Declares a settlement-free peering between `a` and `b`.
+  void add_peer_link(bgp::Asn a, bgp::Asn b);
+
+  bool has_link(bgp::Asn a, bgp::Asn b) const;
+
+  /// The relationship of `neighbor` as seen from `local`; nullopt if the
+  /// two ASes are not adjacent.
+  std::optional<Relationship> relationship(bgp::Asn local, bgp::Asn neighbor) const;
+
+  /// All neighbors of `asn` with their relationship to it, in insertion
+  /// order (deterministic).
+  const std::vector<Neighbor>& neighbors(bgp::Asn asn) const;
+
+  Tier tier(bgp::Asn asn) const;
+  void set_tier(bgp::Asn asn, Tier tier);
+
+  /// All ASNs in insertion order.
+  const std::vector<bgp::Asn>& all_ases() const { return order_; }
+
+  /// ASNs of a given tier, insertion order.
+  std::vector<bgp::Asn> ases_in_tier(Tier tier) const;
+
+  /// Providers / customers / peers of an AS.
+  std::vector<bgp::Asn> neighbors_with(bgp::Asn asn, Relationship r) const;
+
+  /// Serializes to the CAIDA as-rel line format:
+  ///   <a>|<b>|-1  (a is provider of b)
+  ///   <a>|<b>|0   (peers)
+  /// Comment lines start with '#'.
+  std::string serialize() const;
+
+  /// Parses the CAIDA as-rel format. Throws std::invalid_argument on
+  /// malformed lines.
+  static AsGraph parse(std::string_view text);
+
+ private:
+  struct NodeData {
+    Tier tier = Tier::kStub;
+    std::vector<Neighbor> neighbors;
+  };
+
+  NodeData& node(bgp::Asn asn);
+  const NodeData& node(bgp::Asn asn) const;
+
+  std::unordered_map<bgp::Asn, NodeData> nodes_;
+  std::vector<bgp::Asn> order_;
+  std::size_t link_count_ = 0;
+};
+
+}  // namespace artemis::topo

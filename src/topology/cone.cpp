@@ -1,0 +1,48 @@
+#include "topology/cone.hpp"
+
+namespace artemis::topo {
+
+std::unordered_set<bgp::Asn> customer_cone(const AsGraph& graph, bgp::Asn root) {
+  std::unordered_set<bgp::Asn> cone;
+  std::vector<bgp::Asn> frontier{root};
+  while (!frontier.empty()) {
+    const bgp::Asn current = frontier.back();
+    frontier.pop_back();
+    if (!cone.insert(current).second) continue;
+    for (const auto customer : graph.neighbors_with(current, Relationship::kCustomer)) {
+      frontier.push_back(customer);
+    }
+  }
+  return cone;
+}
+
+std::unordered_map<bgp::Asn, std::size_t> customer_cone_sizes(const AsGraph& graph) {
+  // Memoized bottom-up pass: process ASes by increasing provisional cone.
+  // Cone *membership* is a set union, so sizes cannot simply be summed
+  // over children (a customer reachable via two paths must count once).
+  // The graphs here are small enough (thousands of ASes) that per-root
+  // BFS is fine and exact.
+  std::unordered_map<bgp::Asn, std::size_t> sizes;
+  sizes.reserve(graph.as_count());
+  for (const auto asn : graph.all_ases()) {
+    sizes.emplace(asn, customer_cone(graph, asn).size());
+  }
+  return sizes;
+}
+
+std::unordered_map<bgp::Asn, double> cone_weights(const AsGraph& graph,
+                                                  const std::vector<bgp::Asn>& vantages) {
+  std::unordered_map<bgp::Asn, double> weights;
+  double total = 0.0;
+  for (const auto vantage : vantages) {
+    const auto size = static_cast<double>(customer_cone(graph, vantage).size());
+    weights.emplace(vantage, size);
+    total += size;
+  }
+  if (total > 0.0) {
+    for (auto& [asn, weight] : weights) weight /= total;
+  }
+  return weights;
+}
+
+}  // namespace artemis::topo

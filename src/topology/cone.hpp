@@ -1,0 +1,34 @@
+// Customer cones and hijack impact estimation.
+//
+// The customer cone of an AS is the set of ASes reachable by walking
+// customer links downward (the AS itself included) — CAIDA's standard
+// proxy for "how much of the Internet sits behind this network". The
+// experiment harness uses cone sizes to weight vantage points when
+// estimating how much of the Internet a hijack captured: a tier-1 falling
+// to the attacker matters far more than a stub (impact estimation, an
+// extension following the ARTEMIS authors' later work).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace artemis::topo {
+
+/// Customer cone sizes (|cone|, self included) for every AS. Handles
+/// arbitrary graphs (cycles in mislabeled data do not hang: membership is
+/// computed per root over a visited set).
+std::unordered_map<bgp::Asn, std::size_t> customer_cone_sizes(const AsGraph& graph);
+
+/// The explicit cone membership of one AS.
+std::unordered_set<bgp::Asn> customer_cone(const AsGraph& graph, bgp::Asn root);
+
+/// Weights vantage ASes by cone size, normalized so all weights sum to 1.
+/// Useful for impact-weighted "fraction of the Internet" metrics.
+std::unordered_map<bgp::Asn, double> cone_weights(const AsGraph& graph,
+                                                  const std::vector<bgp::Asn>& vantages);
+
+}  // namespace artemis::topo

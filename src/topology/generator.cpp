@@ -1,0 +1,153 @@
+#include "topology/generator.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace artemis::topo {
+namespace {
+
+/// Weighted provider pick mixing uniform and degree-proportional mass.
+bgp::Asn pick_provider(const std::vector<bgp::Asn>& candidates,
+                       const std::vector<std::size_t>& degree, double alpha, Rng& rng,
+                       const std::unordered_set<bgp::Asn>& exclude) {
+  double total = 0.0;
+  std::vector<double> weight(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (exclude.contains(candidates[i])) continue;
+    const double w = (1.0 - alpha) + alpha * static_cast<double>(degree[i] + 1);
+    weight[i] = w;
+    total += w;
+  }
+  if (total <= 0.0) return bgp::kNoAsn;
+  double target = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    target -= weight[i];
+    if (weight[i] > 0.0 && target <= 0.0) return candidates[i];
+  }
+  // Floating-point slack: return the last eligible candidate.
+  for (std::size_t i = candidates.size(); i > 0; --i) {
+    if (weight[i - 1] > 0.0) return candidates[i - 1];
+  }
+  return bgp::kNoAsn;
+}
+
+}  // namespace
+
+AsGraph generate_topology(const GeneratorParams& params, Rng& rng) {
+  if (params.tier1_count < 1 || params.tier2_count < 0 || params.stub_count < 0) {
+    throw std::invalid_argument("bad topology sizes");
+  }
+  if (params.min_providers < 1 || params.max_providers < params.min_providers) {
+    throw std::invalid_argument("bad provider counts");
+  }
+
+  AsGraph graph;
+  bgp::Asn next = params.first_asn;
+  std::vector<bgp::Asn> tier1s;
+  std::vector<bgp::Asn> tier2s;
+  for (int i = 0; i < params.tier1_count; ++i) {
+    graph.add_as(next, Tier::kTier1);
+    tier1s.push_back(next++);
+  }
+  for (int i = 0; i < params.tier2_count; ++i) {
+    graph.add_as(next, Tier::kTier2);
+    tier2s.push_back(next++);
+  }
+  std::vector<bgp::Asn> stubs;
+  for (int i = 0; i < params.stub_count; ++i) {
+    graph.add_as(next, Tier::kStub);
+    stubs.push_back(next++);
+  }
+
+  // Tier-1 clique: settlement-free full mesh.
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      graph.add_peer_link(tier1s[i], tier1s[j]);
+    }
+  }
+
+  // Tier-2s buy transit from tier-1s (and occasionally from earlier
+  // tier-2s, creating multi-level hierarchies). Track provider degree for
+  // preferential attachment.
+  std::vector<bgp::Asn> transit_pool = tier1s;  // eligible providers
+  std::vector<std::size_t> transit_degree(transit_pool.size(), 0);
+  for (const auto t2 : tier2s) {
+    const int providers =
+        static_cast<int>(rng.uniform_int(params.min_providers, params.max_providers));
+    std::unordered_set<bgp::Asn> chosen;
+    for (int k = 0; k < providers; ++k) {
+      const bgp::Asn provider = pick_provider(transit_pool, transit_degree,
+                                              params.preferential_attachment, rng, chosen);
+      if (provider == bgp::kNoAsn) break;
+      chosen.insert(provider);
+      graph.add_customer_link(provider, t2);
+      for (std::size_t i = 0; i < transit_pool.size(); ++i) {
+        if (transit_pool[i] == provider) {
+          ++transit_degree[i];
+          break;
+        }
+      }
+    }
+    transit_pool.push_back(t2);
+    transit_degree.push_back(0);
+  }
+
+  // Tier-2 peering mesh (sparse, probabilistic).
+  for (std::size_t i = 0; i < tier2s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2s.size(); ++j) {
+      if (rng.chance(params.tier2_peering_prob) && !graph.has_link(tier2s[i], tier2s[j])) {
+        graph.add_peer_link(tier2s[i], tier2s[j]);
+      }
+    }
+  }
+
+  // Stubs buy transit from tier-2s (or tier-1s when there are no tier-2s).
+  const std::vector<bgp::Asn>& stub_pool = tier2s.empty() ? tier1s : tier2s;
+  std::vector<std::size_t> stub_pool_degree(stub_pool.size(), 0);
+  for (const auto stub : stubs) {
+    const int providers =
+        static_cast<int>(rng.uniform_int(params.min_providers, params.max_providers));
+    std::unordered_set<bgp::Asn> chosen;
+    for (int k = 0; k < providers; ++k) {
+      const bgp::Asn provider = pick_provider(stub_pool, stub_pool_degree,
+                                              params.preferential_attachment, rng, chosen);
+      if (provider == bgp::kNoAsn) break;
+      chosen.insert(provider);
+      graph.add_customer_link(provider, stub);
+      for (std::size_t i = 0; i < stub_pool.size(); ++i) {
+        if (stub_pool[i] == provider) {
+          ++stub_pool_degree[i];
+          break;
+        }
+      }
+    }
+  }
+
+  return graph;
+}
+
+bool all_connected_to_tier1(const AsGraph& graph) {
+  for (const auto asn : graph.all_ases()) {
+    // Walk provider links upward; bounded by AS count to stop on cycles.
+    std::unordered_set<bgp::Asn> visited;
+    std::vector<bgp::Asn> frontier{asn};
+    bool reached = false;
+    while (!frontier.empty() && !reached) {
+      const bgp::Asn current = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(current).second) continue;
+      if (graph.tier(current) == Tier::kTier1) {
+        reached = true;
+        break;
+      }
+      for (const auto provider : graph.neighbors_with(current, Relationship::kProvider)) {
+        frontier.push_back(provider);
+      }
+    }
+    if (!reached) return false;
+  }
+  return true;
+}
+
+}  // namespace artemis::topo

@@ -1,0 +1,47 @@
+// Synthetic Internet topology generation.
+//
+// Produces a three-tier hierarchy resembling the measured AS-level
+// Internet: a fully meshed clique of tier-1 transit-free providers, a
+// middle tier of regional transit networks multihomed to tier-1s/each
+// other, and an edge of stub ASes (the vast majority, as in CAIDA data).
+// Degree distributions are skewed (preferential attachment on provider
+// choice) and peering links are added between tier-2s.
+//
+// Generation is fully deterministic given the Rng.
+#pragma once
+
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace artemis::topo {
+
+struct GeneratorParams {
+  int tier1_count = 8;
+  int tier2_count = 80;
+  int stub_count = 400;
+
+  /// Provider multihoming: each tier-2/stub gets uniform [min,max] providers.
+  int min_providers = 1;
+  int max_providers = 3;
+
+  /// Probability that any given tier-2 pair peers (in addition to the
+  /// tier-1 clique).
+  double tier2_peering_prob = 0.05;
+
+  /// Preferential attachment strength when choosing providers: 0 = uniform,
+  /// 1 = fully degree-proportional.
+  double preferential_attachment = 0.75;
+
+  /// First ASN assigned; ASes are numbered consecutively from here.
+  bgp::Asn first_asn = 1;
+};
+
+/// Generates a topology. ASN layout: tier-1s first, then tier-2s, then
+/// stubs, consecutively from `params.first_asn`.
+AsGraph generate_topology(const GeneratorParams& params, Rng& rng);
+
+/// Sanity predicate used by tests and asserted by the generator: every AS
+/// can reach a tier-1 by following provider links (no orphan islands).
+bool all_connected_to_tier1(const AsGraph& graph);
+
+}  // namespace artemis::topo

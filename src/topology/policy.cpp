@@ -1,0 +1,23 @@
+#include "topology/policy.hpp"
+
+namespace artemis::topo {
+
+std::uint32_t PreferenceBands::for_relationship(Relationship r) const {
+  switch (r) {
+    case Relationship::kCustomer: return customer;
+    case Relationship::kPeer: return peer;
+    case Relationship::kProvider: return provider;
+  }
+  return provider;
+}
+
+bool may_export(Relationship learned_from_rel, Relationship export_to_rel,
+                bool self_originated) {
+  // Routes from customers (and our own) are exported to everyone: they
+  // earn revenue or are our responsibility. Routes from peers/providers
+  // are exported only downhill, to customers.
+  if (self_originated || learned_from_rel == Relationship::kCustomer) return true;
+  return export_to_rel == Relationship::kCustomer;
+}
+
+}  // namespace artemis::topo

@@ -1,0 +1,46 @@
+// Gao–Rexford routing policy derived from AS relationships.
+//
+// Import: prefer customer routes over peer routes over provider routes
+// (encoded as LOCAL_PREF so the standard decision process applies).
+// Export (valley-free): a route is exported to a neighbor iff it was
+// learned from a customer or self-originated, OR the neighbor is a
+// customer. This yields the no-valley, no-peak paths observed in the real
+// Internet and is what makes hijack propagation distance-dependent — the
+// effect ARTEMIS's experiments measure.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/as_graph.hpp"
+
+namespace artemis::topo {
+
+/// LOCAL_PREF bands for the three relationship classes. Gaps leave room
+/// for per-prefix traffic engineering without crossing bands.
+struct PreferenceBands {
+  std::uint32_t customer = 300;
+  std::uint32_t peer = 200;
+  std::uint32_t provider = 100;
+  /// Self-originated routes beat everything learned.
+  std::uint32_t self = 1000;
+
+  std::uint32_t for_relationship(Relationship r) const;
+};
+
+/// True iff a route learned from `learned_from_rel` may be exported to a
+/// neighbor with relationship `export_to_rel` (valley-free rule).
+/// Self-originated routes pass `learned_from_rel = kCustomer` semantics
+/// via the `self_originated` flag.
+bool may_export(Relationship learned_from_rel, Relationship export_to_rel,
+                bool self_originated);
+
+/// Convenience bundle used by the simulator to configure each speaker.
+struct PolicyConfig {
+  PreferenceBands bands;
+  /// Longest prefix accepted on import; announcements of more-specific
+  /// prefixes are dropped. /24 is the Internet's de-facto boundary and the
+  /// reason de-aggregation cannot defend a /24 (paper §2).
+  int max_accepted_prefix_len = 24;
+};
+
+}  // namespace artemis::topo

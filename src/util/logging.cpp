@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace artemis {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logging::Sink& Logging::sink_ref() {
+  static Sink sink = [](LogLevel level, const std::string& line) {
+    std::fprintf(stderr, "[%s] %s\n", std::string(to_string(level)).c_str(), line.c_str());
+  };
+  return sink;
+}
+
+LogLevel& Logging::threshold_ref() {
+  static LogLevel threshold = LogLevel::kWarn;
+  return threshold;
+}
+
+LogLevel Logging::threshold() { return threshold_ref(); }
+
+void Logging::set_threshold(LogLevel level) { threshold_ref() = level; }
+
+Logging::Sink Logging::set_sink(Sink sink) {
+  Sink previous = std::move(sink_ref());
+  sink_ref() = std::move(sink);
+  return previous;
+}
+
+void Logging::emit(LogLevel level, SimTime when, std::string_view component,
+                   const std::string& message) {
+  if (level < threshold()) return;
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += when.to_string();
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
+  sink_ref()(level, line);
+}
+
+}  // namespace artemis

@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the simulator (link delays, MRAI jitter,
+// topology wiring, feed latencies) is driven by Rng instances derived from
+// a single experiment seed, so every run is reproducible bit-for-bit and
+// benches can sweep seeds to obtain distributions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace artemis {
+
+/// A small, fast, seedable PRNG (xoshiro256**). Not cryptographic.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions, but the built-in helpers below are preferred:
+/// they are stable across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; two Rngs with equal seeds produce equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child generator; `label` namespaces the stream
+  /// so distinct subsystems fed from one seed do not correlate.
+  Rng fork(std::string_view label) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Normal variate (Box–Muller; one value per call, no caching).
+  double normal(double mean, double stddev);
+
+  /// Log-normal variate with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential variate with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Uniform duration in [lo, hi].
+  SimDuration uniform_duration(SimDuration lo, SimDuration hi);
+
+  /// Fisher–Yates shuffle of a contiguous range.
+  template <typename T>
+  void shuffle(T* data, std::size_t n) {
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace artemis

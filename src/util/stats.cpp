@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace artemis {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double Summary::min() const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0 || q > 100.0) throw std::out_of_range("percentile q outside [0,100]");
+  ensure_sorted();
+  const double rank = (q / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Summary::cdf_at(double x) const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Summary::cdf_points(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, cdf_at(x));
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out += ' ';
+      out += cell;
+      out.append(widths[c] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += '|';
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace artemis

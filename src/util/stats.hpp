@@ -1,0 +1,64 @@
+// Summary statistics used throughout the benchmarks: mean, percentiles,
+// CDF extraction, and a fixed-width table printer for paper-style output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace artemis {
+
+/// Accumulates samples and answers summary queries. Samples are kept (the
+/// experiment scales here are thousands of points), so exact percentiles
+/// are available.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;  ///< sample standard deviation (n-1); 0 if n < 2
+
+  /// Exact percentile by linear interpolation, q in [0,100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+  /// Fraction of samples <= x (empirical CDF).
+  double cdf_at(double x) const;
+
+  /// Evenly spaced (x, F(x)) points suitable for plotting, `points` >= 2.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Minimal fixed-width text table, used by every bench binary to print
+/// paper-style rows ("| source | mean | p90 | ... |").
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace artemis

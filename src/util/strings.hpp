@@ -1,0 +1,31 @@
+// Small string helpers shared by parsers and report printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace artemis {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Parses a non-negative decimal integer; rejects sign, spaces, overflow
+/// and trailing garbage. Returns nullopt on any violation.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parses an unsigned integer no larger than `max_value`.
+std::optional<std::uint32_t> parse_u32(std::string_view s,
+                                       std::uint32_t max_value = UINT32_MAX);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins string-ish items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace artemis

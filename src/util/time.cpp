@@ -1,0 +1,35 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace artemis {
+
+std::string SimDuration::to_string() const {
+  char buf[64];
+  const double s = std::fabs(as_seconds());
+  const char* sign = as_seconds() < 0 ? "-" : "";
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.0fms", sign, s * 1e3);
+  } else if (s < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", sign, s);
+  } else if (s < 3600.0) {
+    const long whole_min = static_cast<long>(s) / 60;
+    const double rem_s = s - static_cast<double>(whole_min) * 60.0;
+    std::snprintf(buf, sizeof(buf), "%s%ldm%02.0fs", sign, whole_min, rem_s);
+  } else {
+    const long whole_h = static_cast<long>(s) / 3600;
+    const double rem_m = (s - static_cast<double>(whole_h) * 3600.0) / 60.0;
+    std::snprintf(buf, sizeof(buf), "%s%ldh%02.0fm", sign, whole_h, rem_m);
+  }
+  return buf;
+}
+
+std::string SimTime::to_string() const {
+  if (is_never()) return "never";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t+%.3fs", as_seconds());
+  return buf;
+}
+
+}  // namespace artemis

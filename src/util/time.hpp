@@ -1,0 +1,105 @@
+// Simulated-time primitives.
+//
+// Every component of the ARTEMIS reproduction runs against a simulated
+// clock: BGP propagation, monitor feed latencies, controller latencies and
+// detection timestamps are all expressed as SimTime / SimDuration. Both are
+// thin strong types over a signed 64-bit microsecond count, so arithmetic
+// is exact and the full simulated range (~292k years) vastly exceeds any
+// experiment horizon.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace artemis {
+
+/// A span of simulated time with microsecond resolution.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  /// Named constructors. Prefer these over raw microsecond counts.
+  static constexpr SimDuration micros(std::int64_t us) { return SimDuration(us); }
+  static constexpr SimDuration millis(std::int64_t ms) { return SimDuration(ms * 1000); }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimDuration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimDuration hours(double h) { return seconds(h * 3600.0); }
+  static constexpr SimDuration zero() { return SimDuration(0); }
+  static constexpr SimDuration max() {
+    return SimDuration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double as_minutes() const { return as_seconds() / 60.0; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(us_ + o.us_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(us_ - o.us_); }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr SimDuration operator/(double k) const {
+    return SimDuration(static_cast<std::int64_t>(static_cast<double>(us_) / k));
+  }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  /// Renders e.g. "45.3s", "5m12s", "2h00m" for logs and bench tables.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulated timeline. Time zero is the start of
+/// the simulation; instants are only meaningful relative to it.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime at_micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime at_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime never() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr bool is_never() const { return us_ == std::numeric_limits<std::int64_t>::max(); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(us_ + d.as_micros()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(us_ - d.as_micros()); }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::micros(us_ - o.us_);
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    us_ += d.as_micros();
+    return *this;
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace artemis

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "topology/cone.hpp"
+#include "topology/generator.hpp"
+
+namespace artemis::topo {
+namespace {
+
+// 1 provider-of 2, 1 provider-of 3, 2 provider-of 4, 3 provider-of 4
+// (multihomed), 3 peer 5.
+AsGraph diamond() {
+  AsGraph g;
+  for (bgp::Asn a = 1; a <= 5; ++a) g.add_as(a);
+  g.add_customer_link(1, 2);
+  g.add_customer_link(1, 3);
+  g.add_customer_link(2, 4);
+  g.add_customer_link(3, 4);
+  g.add_peer_link(3, 5);
+  return g;
+}
+
+TEST(ConeTest, StubConeIsSelf) {
+  const auto g = diamond();
+  const auto cone = customer_cone(g, 4);
+  EXPECT_EQ(cone, (std::unordered_set<bgp::Asn>{4}));
+}
+
+TEST(ConeTest, MultihomedCustomerCountedOnce) {
+  const auto g = diamond();
+  // 1's cone: {1,2,3,4}; AS4 reachable via both 2 and 3, counted once.
+  EXPECT_EQ(customer_cone(g, 1).size(), 4u);
+}
+
+TEST(ConeTest, PeerLinksDoNotExtendCone) {
+  const auto g = diamond();
+  const auto cone = customer_cone(g, 3);
+  EXPECT_EQ(cone, (std::unordered_set<bgp::Asn>{3, 4}));  // not peer 5
+}
+
+TEST(ConeTest, SizesForAllAses) {
+  const auto g = diamond();
+  const auto sizes = customer_cone_sizes(g);
+  EXPECT_EQ(sizes.at(1), 4u);
+  EXPECT_EQ(sizes.at(2), 2u);
+  EXPECT_EQ(sizes.at(3), 2u);
+  EXPECT_EQ(sizes.at(4), 1u);
+  EXPECT_EQ(sizes.at(5), 1u);
+}
+
+TEST(ConeTest, GeneratedTopologyInvariants) {
+  GeneratorParams params;
+  params.tier2_count = 30;
+  params.stub_count = 120;
+  Rng rng(5);
+  const auto g = generate_topology(params, rng);
+  const auto sizes = customer_cone_sizes(g);
+  // Every stub's cone is exactly itself; every tier-1's cone is larger
+  // than any of its customers' cones.
+  for (const auto asn : g.ases_in_tier(Tier::kStub)) {
+    EXPECT_EQ(sizes.at(asn), 1u);
+  }
+  for (const auto t1 : g.ases_in_tier(Tier::kTier1)) {
+    for (const auto customer : g.neighbors_with(t1, Relationship::kCustomer)) {
+      EXPECT_GT(sizes.at(t1), sizes.at(customer));
+    }
+  }
+  // Cones never exceed the AS count.
+  for (const auto& [asn, size] : sizes) {
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, g.as_count());
+  }
+}
+
+TEST(ConeWeightsTest, NormalizedAndProportional) {
+  const auto g = diamond();
+  const auto weights = cone_weights(g, {1, 4});
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_NEAR(weights.at(1) + weights.at(4), 1.0, 1e-12);
+  EXPECT_NEAR(weights.at(1) / weights.at(4), 4.0, 1e-12);  // cone 4 vs 1
+}
+
+TEST(ConeWeightsTest, EmptyVantagesYieldEmptyMap) {
+  const auto g = diamond();
+  EXPECT_TRUE(cone_weights(g, {}).empty());
+}
+
+}  // namespace
+}  // namespace artemis::topo

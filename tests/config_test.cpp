@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "artemis/config.hpp"
+
+namespace artemis::core {
+namespace {
+
+constexpr std::string_view kSampleConfig = R"({
+  "prefixes": [
+    {"prefix": "10.0.0.0/23", "origins": [65001], "neighbors": [174, 3356]},
+    {"prefix": "192.0.2.0/24", "origins": [65001, 65002]}
+  ],
+  "mitigation": {
+    "deaggregation_floor": 24,
+    "reannounce_exact": false,
+    "auto_mitigate": true
+  }
+})";
+
+TEST(ConfigTest, FromJsonParsesEverything) {
+  const auto config = Config::from_json_text(kSampleConfig);
+  ASSERT_EQ(config.owned().size(), 2u);
+  const auto& first = config.owned()[0];
+  EXPECT_EQ(first.prefix.to_string(), "10.0.0.0/23");
+  EXPECT_TRUE(first.legitimate_origins.contains(65001));
+  EXPECT_TRUE(first.legitimate_neighbors.contains(174));
+  EXPECT_TRUE(first.legitimate_neighbors.contains(3356));
+  const auto& second = config.owned()[1];
+  EXPECT_EQ(second.legitimate_origins.size(), 2u);
+  EXPECT_TRUE(second.legitimate_neighbors.empty());
+  EXPECT_EQ(config.mitigation().deaggregation_floor, 24);
+  EXPECT_FALSE(config.mitigation().reannounce_exact);
+  EXPECT_TRUE(config.mitigation().auto_mitigate);
+}
+
+TEST(ConfigTest, MitigationSectionOptional) {
+  const auto config =
+      Config::from_json_text(R"({"prefixes":[{"prefix":"10.0.0.0/8","origins":[1]}]})");
+  EXPECT_EQ(config.mitigation().deaggregation_floor, 24);
+  EXPECT_TRUE(config.mitigation().reannounce_exact);
+}
+
+TEST(ConfigTest, RejectsBadDocuments) {
+  EXPECT_THROW(Config::from_json_text("{}"), json::JsonError);
+  EXPECT_THROW(Config::from_json_text(R"({"prefixes":[{"prefix":"bad","origins":[1]}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Config::from_json_text(R"({"prefixes":[{"prefix":"10.0.0.0/8","origins":[]}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Config::from_json_text(R"({"prefixes":[{"prefix":"10.0.0.0/8","origins":[0]}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Config::from_json_text(
+          R"({"prefixes":[{"prefix":"10.0.0.0/8","origins":[1]}],
+              "mitigation":{"deaggregation_floor":0}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Config::from_json_text(
+          R"({"prefixes":[{"prefix":"10.0.0.0/8","origins":[1],"neighbors":[-5]}]})"),
+      std::invalid_argument);
+}
+
+TEST(ConfigTest, ToJsonRoundTrip) {
+  const auto config = Config::from_json_text(kSampleConfig);
+  const auto round = Config::from_json(config.to_json());
+  ASSERT_EQ(round.owned().size(), 2u);
+  EXPECT_EQ(round.owned()[0].prefix, config.owned()[0].prefix);
+  EXPECT_EQ(round.owned()[0].legitimate_origins, config.owned()[0].legitimate_origins);
+  EXPECT_EQ(round.owned()[0].legitimate_neighbors,
+            config.owned()[0].legitimate_neighbors);
+  EXPECT_EQ(round.mitigation().reannounce_exact, config.mitigation().reannounce_exact);
+}
+
+TEST(ConfigTest, MatchExactAndMoreSpecific) {
+  const auto config = Config::from_json_text(kSampleConfig);
+  const auto* exact = config.match(net::Prefix::must_parse("10.0.0.0/23"));
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->prefix.to_string(), "10.0.0.0/23");
+  const auto* sub = config.match(net::Prefix::must_parse("10.0.1.0/24"));
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->prefix.to_string(), "10.0.0.0/23");
+  EXPECT_EQ(config.match(net::Prefix::must_parse("10.2.0.0/24")), nullptr);
+}
+
+TEST(ConfigTest, MatchSuperPrefix) {
+  const auto config = Config::from_json_text(kSampleConfig);
+  const auto* super = config.match(net::Prefix::must_parse("10.0.0.0/16"));
+  ASSERT_NE(super, nullptr);
+  EXPECT_EQ(super->prefix.to_string(), "10.0.0.0/23");
+}
+
+TEST(ConfigTest, MatchPrefersMostSpecificOwned) {
+  Config config;
+  OwnedPrefix big;
+  big.prefix = net::Prefix::must_parse("10.0.0.0/16");
+  big.legitimate_origins.insert(1);
+  config.add_owned(big);
+  OwnedPrefix small;
+  small.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  small.legitimate_origins.insert(2);
+  config.add_owned(small);
+  const auto* hit = config.match(net::Prefix::must_parse("10.0.0.0/24"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix.to_string(), "10.0.0.0/23");
+}
+
+TEST(ConfigTest, AddOwnedValidatesOrigins) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/8");
+  EXPECT_THROW(config.add_owned(owned), std::invalid_argument);
+  EXPECT_TRUE(config.owns_nothing());
+}
+
+}  // namespace
+}  // namespace artemis::core

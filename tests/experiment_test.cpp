@@ -1,0 +1,254 @@
+// Integration tests: the full three-phase experiment (§3 of the paper)
+// across modules — topology, simulator, feeds, detection, mitigation,
+// monitoring.
+#include <gtest/gtest.h>
+
+#include "artemis/experiment.hpp"
+#include "topology/generator.hpp"
+
+namespace artemis::core {
+namespace {
+
+struct Fixture {
+  topo::AsGraph graph;
+  sim::NetworkParams net_params;
+  ExperimentParams params;
+  Rng rng{2024};
+
+  explicit Fixture(std::uint64_t seed = 2024) : rng(seed) {
+    topo::GeneratorParams topo_params;
+    topo_params.tier1_count = 5;
+    topo_params.tier2_count = 30;
+    topo_params.stub_count = 120;
+    auto topo_rng = rng.fork("topo");
+    graph = topo::generate_topology(topo_params, topo_rng);
+    const auto stubs = graph.ases_in_tier(topo::Tier::kStub);
+    params.victim = stubs[0];
+    params.attacker = stubs[stubs.size() - 1];
+    params.victim_prefix = net::Prefix::must_parse("10.0.0.0/23");
+  }
+};
+
+TEST(ExperimentTest, ExactHijackDetectedAndFullyMitigated) {
+  Fixture f;
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+
+  ASSERT_TRUE(result.detected_at.has_value());
+  EXPECT_FALSE(result.detection_source.empty());
+  // Detection is tens of seconds (feed latency + propagation), under 3 min.
+  EXPECT_GT(*result.detection_delay(), SimDuration::seconds(1));
+  EXPECT_LT(*result.detection_delay(), SimDuration::minutes(3));
+
+  // The controller applied both /24s ~15 s after detection.
+  ASSERT_TRUE(result.mitigation_start_delay().has_value());
+  EXPECT_GE(*result.mitigation_start_delay(), SimDuration::seconds(15));
+  EXPECT_LT(*result.mitigation_start_delay(), SimDuration::seconds(16));
+  EXPECT_TRUE(result.deaggregation_possible);
+  ASSERT_GE(result.mitigation_announcements.size(), 2u);
+  EXPECT_EQ(result.mitigation_announcements[0].to_string(), "10.0.0.0/24");
+  EXPECT_EQ(result.mitigation_announcements[1].to_string(), "10.0.1.0/24");
+
+  // Every vantage point returns to the legitimate origin within minutes.
+  ASSERT_TRUE(result.truth_converged_at.has_value());
+  EXPECT_LT(*result.total_duration(), SimDuration::minutes(12));
+  ASSERT_TRUE(result.feed_converged_at.has_value());
+
+  // The hijack actually captured someone before mitigation.
+  EXPECT_GT(result.max_hijacked_fraction, 0.0);
+
+  // Timeline: starts fully legitimate, dips, recovers to 1.0.
+  ASSERT_FALSE(result.timeline.empty());
+  EXPECT_DOUBLE_EQ(result.timeline.front().truth_fraction, 1.0);
+  double min_fraction = 1.0;
+  for (const auto& sample : result.timeline) {
+    min_fraction = std::min(min_fraction, sample.truth_fraction);
+  }
+  EXPECT_LT(min_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.timeline.back().truth_fraction, 1.0);
+}
+
+TEST(ExperimentTest, DetectionBySourceMinimumWinsRace) {
+  Fixture f;
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+  ASSERT_TRUE(result.detected_at.has_value());
+  ASSERT_FALSE(result.detection_by_source.empty());
+  SimTime min_seen = SimTime::never();
+  for (const auto& [source, when] : result.detection_by_source) {
+    min_seen = std::min(min_seen, when);
+  }
+  EXPECT_EQ(min_seen, *result.detected_at);
+  EXPECT_EQ(result.detection_by_source.at(result.detection_source), *result.detected_at);
+}
+
+TEST(ExperimentTest, Slash24VictimCannotBeMitigated) {
+  Fixture f;
+  f.params.victim_prefix = net::Prefix::must_parse("10.0.0.0/24");
+  f.params.horizon = SimDuration::minutes(10);
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+
+  ASSERT_TRUE(result.detected_at.has_value());
+  EXPECT_FALSE(result.deaggregation_possible);
+  // Re-announcing the exact /24 does not dislodge the hijacker everywhere:
+  // ground-truth convergence must NOT be reached.
+  EXPECT_FALSE(result.truth_converged_at.has_value());
+  EXPECT_GT(result.max_hijacked_fraction, 0.0);
+}
+
+TEST(ExperimentTest, SubPrefixHijackDetectedViaExtension) {
+  Fixture f;
+  f.params.hijack_prefix = net::Prefix::must_parse("10.0.1.0/24");
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+  ASSERT_TRUE(result.detected_at.has_value());
+  // The observed prefix is the attacker's /24; mitigation scope is that
+  // /24, which cannot be split below the floor -> only the exact /23
+  // reannounce goes out and the sub-prefix keeps winning.
+  EXPECT_FALSE(result.deaggregation_possible);
+}
+
+TEST(ExperimentTest, Type1ForgedPathNeedsFirstHopCheck) {
+  Fixture f;
+  // Attacker claims to be adjacent to the victim: path [attacker, victim].
+  f.params.forged_path = bgp::AsPath({f.params.attacker, f.params.victim});
+  f.params.horizon = SimDuration::minutes(10);
+
+  // Default (origin checks only): the origin looks legitimate -> missed.
+  {
+    HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("a"));
+    const auto result = experiment.run();
+    EXPECT_FALSE(result.detected_at.has_value());
+  }
+  // With the Type-1 extension: detected.
+  {
+    f.params.app.detection.detect_fake_first_hop = true;
+    HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("b"));
+    const auto result = experiment.run();
+    ASSERT_TRUE(result.detected_at.has_value());
+  }
+}
+
+TEST(ExperimentTest, SingleSourceSlowerOrEqualToCombined) {
+  Fixture f;
+  f.params.horizon = SimDuration::minutes(20);
+  // Combined run.
+  HijackExperiment combined(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto combined_result = combined.run();
+  ASSERT_TRUE(combined_result.detected_at.has_value());
+
+  // Periscope-only run with identical seeds (same LGs, same latencies).
+  auto solo_params = f.params;
+  solo_params.enable_ris = false;
+  solo_params.enable_bgpmon = false;
+  HijackExperiment solo(f.graph, f.net_params, solo_params, f.rng.fork("exp"));
+  const auto solo_result = solo.run();
+  ASSERT_TRUE(solo_result.detected_at.has_value());
+
+  EXPECT_LE(*combined_result.detection_delay(), *solo_result.detection_delay() +
+                                                    SimDuration::seconds(1));
+}
+
+TEST(ExperimentTest, RequiresActors) {
+  Fixture f;
+  f.params.victim = bgp::kNoAsn;
+  EXPECT_THROW(HijackExperiment(f.graph, f.net_params, f.params, f.rng.fork("x")),
+               std::invalid_argument);
+}
+
+TEST(ExperimentTest, RequiresAtLeastOneSource) {
+  Fixture f;
+  f.params.enable_ris = false;
+  f.params.enable_bgpmon = false;
+  f.params.enable_periscope = false;
+  EXPECT_THROW(HijackExperiment(f.graph, f.net_params, f.params, f.rng.fork("x")),
+               std::invalid_argument);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  Fixture f1(7);
+  Fixture f2(7);
+  HijackExperiment a(f1.graph, f1.net_params, f1.params, f1.rng.fork("exp"));
+  HijackExperiment b(f2.graph, f2.net_params, f2.params, f2.rng.fork("exp"));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.detected_at.has_value());
+  ASSERT_TRUE(rb.detected_at.has_value());
+  EXPECT_EQ(*ra.detected_at, *rb.detected_at);
+  EXPECT_EQ(ra.detection_source, rb.detection_source);
+  ASSERT_TRUE(ra.truth_converged_at.has_value());
+  ASSERT_TRUE(rb.truth_converged_at.has_value());
+  EXPECT_EQ(*ra.truth_converged_at, *rb.truth_converged_at);
+}
+
+TEST(ExperimentTest, MraiAblationSpeedsConvergence) {
+  Fixture f;
+  sim::NetworkParams no_mrai = f.net_params;
+  no_mrai.mrai = SimDuration::zero();
+  HijackExperiment fast(f.graph, no_mrai, f.params, f.rng.fork("exp"));
+  const auto fast_result = fast.run();
+  HijackExperiment slow(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto slow_result = slow.run();
+  ASSERT_TRUE(fast_result.mitigation_duration().has_value());
+  ASSERT_TRUE(slow_result.mitigation_duration().has_value());
+  EXPECT_LT(*fast_result.mitigation_duration(), *slow_result.mitigation_duration());
+}
+
+TEST(ExperimentTest, OutsourcingImprovesSlash24Recovery) {
+  Fixture f;
+  f.params.victim_prefix = net::Prefix::must_parse("10.0.0.0/24");
+  f.params.horizon = SimDuration::minutes(10);
+
+  auto final_fraction = [&](int helpers) {
+    auto params = f.params;
+    params.helper_count = helpers;
+    HijackExperiment experiment(f.graph, f.net_params, params, f.rng.fork("exp"));
+    const auto result = experiment.run();
+    EXPECT_EQ(experiment.helpers().size(), static_cast<std::size_t>(helpers));
+    if (helpers > 0) {
+      EXPECT_EQ(result.helpers_used, static_cast<std::size_t>(helpers));
+    }
+    return result.timeline.empty() ? 0.0 : result.timeline.back().truth_fraction;
+  };
+  const double without = final_fraction(0);
+  const double with_helpers = final_fraction(4);
+  EXPECT_LT(without, 1.0);
+  EXPECT_GT(with_helpers, without);
+}
+
+TEST(ExperimentTest, ImpactWeightingDiffersFromPlainFraction) {
+  Fixture f;
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+  // Both metrics saw the hijack; they weight vantages differently but
+  // stay within [0, 1].
+  EXPECT_GT(result.max_hijacked_fraction, 0.0);
+  EXPECT_GT(result.max_hijacked_impact, 0.0);
+  EXPECT_LE(result.max_hijacked_fraction, 1.0);
+  EXPECT_LE(result.max_hijacked_impact, 1.0);
+}
+
+TEST(ExperimentTest, ExplicitHelpersRespected) {
+  Fixture f;
+  f.params.victim_prefix = net::Prefix::must_parse("10.0.0.0/24");
+  const auto tier1s = f.graph.ases_in_tier(topo::Tier::kTier1);
+  f.params.helpers = {tier1s[0], tier1s[1]};
+  f.params.horizon = SimDuration::minutes(5);
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  EXPECT_EQ(experiment.helpers(), f.params.helpers);
+  const auto result = experiment.run();
+  EXPECT_EQ(result.helpers_used, 2u);
+}
+
+TEST(ExperimentTest, SummaryIsHumanReadable) {
+  Fixture f;
+  HijackExperiment experiment(f.graph, f.net_params, f.params, f.rng.fork("exp"));
+  const auto result = experiment.run();
+  const auto s = result.summary();
+  EXPECT_NE(s.find("detected after"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace artemis::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "netbase/ip.hpp"
+
+namespace artemis::net {
+namespace {
+
+TEST(IpV4Test, ConstructAndFormat) {
+  const auto a = IpAddress::v4(0x0A000001);
+  EXPECT_TRUE(a.is_v4());
+  EXPECT_EQ(a.bits(), 32);
+  EXPECT_EQ(a.v4_value(), 0x0A000001u);
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+}
+
+TEST(IpV4Test, ParseValid) {
+  EXPECT_EQ(IpAddress::parse("0.0.0.0")->v4_value(), 0u);
+  EXPECT_EQ(IpAddress::parse("255.255.255.255")->v4_value(), 0xFFFFFFFFu);
+  EXPECT_EQ(IpAddress::parse("192.168.1.42")->to_string(), "192.168.1.42");
+}
+
+TEST(IpV4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse(""));
+  EXPECT_FALSE(IpAddress::parse("1.2.3"));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1"));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.x"));
+  EXPECT_FALSE(IpAddress::parse("01.2.3.4"));  // leading zero
+  EXPECT_FALSE(IpAddress::parse("1..2.3"));
+  EXPECT_FALSE(IpAddress::parse("-1.2.3.4"));
+}
+
+TEST(IpV4Test, ParseFormatRoundTrip) {
+  for (const auto text : {"10.0.0.0", "172.16.254.3", "8.8.8.8", "100.64.0.1"}) {
+    const auto a = IpAddress::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(a->to_string(), text);
+  }
+}
+
+TEST(IpV6Test, ConstructAndFormat) {
+  const auto a = IpAddress::v6(0x20010db8'00000000ULL, 0x00000000'00000001ULL);
+  EXPECT_FALSE(a.is_v4());
+  EXPECT_EQ(a.bits(), 128);
+  EXPECT_EQ(a.to_string(), "2001:db8::1");
+}
+
+TEST(IpV6Test, ParseForms) {
+  EXPECT_EQ(IpAddress::parse("::")->to_string(), "::");
+  EXPECT_EQ(IpAddress::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(IpAddress::parse("2001:db8::")->to_string(), "2001:db8::");
+  EXPECT_EQ(IpAddress::parse("1:2:3:4:5:6:7:8")->to_string(), "1:2:3:4:5:6:7:8");
+  EXPECT_EQ(IpAddress::parse("2001:0db8:0000:0000:0000:0000:0000:0001")->to_string(),
+            "2001:db8::1");
+}
+
+TEST(IpV6Test, CompressesLongestZeroRun) {
+  EXPECT_EQ(IpAddress::parse("1:0:0:2:0:0:0:3")->to_string(), "1:0:0:2::3");
+  // A single zero group is not compressed (RFC 5952 §4.2.2).
+  EXPECT_EQ(IpAddress::parse("1:0:2:3:4:5:6:7")->to_string(), "1:0:2:3:4:5:6:7");
+}
+
+TEST(IpV6Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse(":::"));
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7"));        // too few
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9"));    // too many
+  EXPECT_FALSE(IpAddress::parse("1::2::3"));              // two gaps
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8::"));    // gap compresses nothing
+  EXPECT_FALSE(IpAddress::parse("12345::"));              // group too long
+  EXPECT_FALSE(IpAddress::parse("g::1"));                 // bad hex
+}
+
+TEST(IpBitsTest, BitAccessMsbFirst) {
+  const auto a = IpAddress::v4(0x80000001);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_FALSE(a.bit(30));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(IpBitsTest, WithBitSetsAndClears) {
+  const auto a = IpAddress::v4(0);
+  const auto b = a.with_bit(0, true);
+  EXPECT_EQ(b.v4_value(), 0x80000000u);
+  EXPECT_EQ(b.with_bit(0, false).v4_value(), 0u);
+  EXPECT_EQ(a.with_bit(31, true).v4_value(), 1u);
+}
+
+TEST(IpBitsTest, MaskedClearsHostBits) {
+  const auto a = IpAddress::v4(0x0A0001FF);  // 10.0.1.255
+  EXPECT_EQ(a.masked(24).to_string(), "10.0.1.0");
+  EXPECT_EQ(a.masked(23).to_string(), "10.0.0.0");
+  EXPECT_EQ(a.masked(32).to_string(), "10.0.1.255");
+  EXPECT_EQ(a.masked(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(a.masked(15).to_string(), "10.0.0.0");
+}
+
+TEST(IpBitsTest, MaskedV6) {
+  const auto a = IpAddress::parse("2001:db8:ffff::1").value();
+  EXPECT_EQ(a.masked(32).to_string(), "2001:db8::");
+  EXPECT_EQ(a.masked(48).to_string(), "2001:db8:ffff::");
+}
+
+TEST(IpCommonPrefixTest, SameFamily) {
+  const auto a = IpAddress::parse("10.0.0.0").value();
+  const auto b = IpAddress::parse("10.0.1.0").value();
+  EXPECT_EQ(a.common_prefix_len(b), 23);
+  EXPECT_EQ(a.common_prefix_len(a), 32);
+  const auto c = IpAddress::parse("128.0.0.0").value();
+  EXPECT_EQ(a.common_prefix_len(c), 0);
+}
+
+TEST(IpCommonPrefixTest, CrossFamilyIsZero) {
+  const auto v4 = IpAddress::v4(0);
+  const auto v6 = IpAddress::v6(0, 0);
+  EXPECT_EQ(v4.common_prefix_len(v6), 0);
+}
+
+TEST(IpOrderingTest, TotalOrder) {
+  const auto a = IpAddress::parse("10.0.0.1").value();
+  const auto b = IpAddress::parse("10.0.0.2").value();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, IpAddress::parse("10.0.0.1").value());
+}
+
+TEST(IpFromBytesTest, RoundTrip) {
+  const std::uint8_t raw[4] = {192, 0, 2, 1};
+  const auto a = IpAddress::from_bytes(IpFamily::kIpv4, raw);
+  EXPECT_EQ(a.to_string(), "192.0.2.1");
+}
+
+}  // namespace
+}  // namespace artemis::net

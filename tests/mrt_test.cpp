@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mrt/bytes.hpp"
+#include "mrt/mrt.hpp"
+#include "mrt/stream_reader.hpp"
+
+namespace artemis::mrt {
+namespace {
+
+// ------------------------------------------------------------------ bytes
+
+TEST(BytesTest, WriterBigEndian) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0FULL);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 15u);
+  EXPECT_EQ(d[0], 0x01);
+  EXPECT_EQ(d[1], 0x02);
+  EXPECT_EQ(d[2], 0x03);
+  EXPECT_EQ(d[3], 0x04);
+  EXPECT_EQ(d[6], 0x07);
+  EXPECT_EQ(d[7], 0x08);
+  EXPECT_EQ(d[14], 0x0F);
+}
+
+TEST(BytesTest, ReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, ReaderThrowsOnTruncation) {
+  ByteWriter w;
+  w.u16(1);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.u16(), DecodeError);
+}
+
+TEST(BytesTest, PatchSlots) {
+  ByteWriter w;
+  const auto s16 = w.reserve_u16();
+  const auto s32 = w.reserve_u32();
+  w.u8(0xAA);
+  w.patch_u16(s16, 0x1234);
+  w.patch_u32(s32, 0x56789ABC);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0x56789ABCu);
+  EXPECT_EQ(r.u8(), 0xAA);
+}
+
+TEST(BytesTest, SubReaderConsumes) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  w.u8(0xFF);
+  ByteReader r(w.data());
+  ByteReader sub = r.sub(4);
+  EXPECT_EQ(sub.u32(), 0x01020304u);
+  EXPECT_TRUE(sub.done());
+  EXPECT_EQ(r.u8(), 0xFF);
+}
+
+// ------------------------------------------------------------- BGP UPDATE
+
+bgp::UpdateMessage sample_update() {
+  bgp::UpdateMessage u;
+  u.sender = 65010;
+  u.attrs.as_path = bgp::AsPath({65010, 65020, 65030});
+  u.attrs.origin = bgp::Origin::kEgp;
+  u.attrs.local_pref = 250;
+  u.attrs.med = 17;
+  u.attrs.communities = {{65010, 100}, {65010, 200}};
+  u.announced = {net::Prefix::must_parse("10.0.0.0/23"),
+                 net::Prefix::must_parse("10.0.2.0/24")};
+  u.withdrawn = {net::Prefix::must_parse("192.0.2.0/24")};
+  return u;
+}
+
+TEST(BgpUpdateCodecTest, RoundTripFull) {
+  const auto original = sample_update();
+  const auto bytes = encode_bgp_update(original);
+  ByteReader r(bytes);
+  const auto decoded = decode_bgp_update(r, original.sender);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded.sender, original.sender);
+  EXPECT_EQ(decoded.announced, original.announced);
+  EXPECT_EQ(decoded.withdrawn, original.withdrawn);
+  EXPECT_EQ(decoded.attrs.as_path, original.attrs.as_path);
+  EXPECT_EQ(decoded.attrs.origin, original.attrs.origin);
+  EXPECT_EQ(decoded.attrs.local_pref, original.attrs.local_pref);
+  EXPECT_EQ(decoded.attrs.med, original.attrs.med);
+  EXPECT_EQ(decoded.attrs.communities, original.attrs.communities);
+}
+
+TEST(BgpUpdateCodecTest, PureWithdrawalHasNoAttributes) {
+  bgp::UpdateMessage u;
+  u.sender = 1;
+  u.withdrawn = {net::Prefix::must_parse("10.0.0.0/8")};
+  const auto bytes = encode_bgp_update(u);
+  ByteReader r(bytes);
+  const auto decoded = decode_bgp_update(r, 1);
+  EXPECT_TRUE(decoded.announced.empty());
+  ASSERT_EQ(decoded.withdrawn.size(), 1u);
+  EXPECT_EQ(decoded.withdrawn[0].to_string(), "10.0.0.0/8");
+}
+
+TEST(BgpUpdateCodecTest, ZeroLengthPrefixEncodes) {
+  bgp::UpdateMessage u;
+  u.sender = 1;
+  u.attrs.as_path = bgp::AsPath({1});
+  u.announced = {net::Prefix::must_parse("0.0.0.0/0")};
+  const auto bytes = encode_bgp_update(u);
+  ByteReader r(bytes);
+  const auto decoded = decode_bgp_update(r, 1);
+  ASSERT_EQ(decoded.announced.size(), 1u);
+  EXPECT_EQ(decoded.announced[0].length(), 0);
+}
+
+TEST(BgpUpdateCodecTest, OddPrefixLengthsPackTightly) {
+  // /23 must consume 3 NLRI bytes, /9 two, /32 four + 1 length byte each.
+  for (const auto text : {"10.0.0.0/23", "10.128.0.0/9", "1.2.3.4/32", "128.0.0.0/1"}) {
+    bgp::UpdateMessage u;
+    u.sender = 1;
+    u.attrs.as_path = bgp::AsPath({1});
+    u.announced = {net::Prefix::must_parse(text)};
+    const auto bytes = encode_bgp_update(u);
+    ByteReader r(bytes);
+    const auto decoded = decode_bgp_update(r, 1);
+    ASSERT_EQ(decoded.announced.size(), 1u) << text;
+    EXPECT_EQ(decoded.announced[0].to_string(), text);
+  }
+}
+
+TEST(BgpUpdateCodecTest, BadMarkerRejected) {
+  auto bytes = encode_bgp_update(sample_update());
+  bytes[0] = 0x00;
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_bgp_update(r, 1), DecodeError);
+}
+
+TEST(BgpUpdateCodecTest, TruncationRejected) {
+  const auto bytes = encode_bgp_update(sample_update());
+  for (const std::size_t cut : {std::size_t{18}, std::size_t{20}, bytes.size() - 1}) {
+    ByteReader r(std::span(bytes.data(), cut));
+    EXPECT_THROW(decode_bgp_update(r, 1), DecodeError) << "cut=" << cut;
+  }
+}
+
+// --------------------------------------------------------------- BGP4MP
+
+TEST(UpdateRecordTest, RoundTripWithMicrosecondTimestamp) {
+  UpdateRecord rec;
+  rec.peer_asn = 64501;
+  rec.local_asn = 12654;
+  rec.peer_ip = net::IpAddress::parse("203.0.113.7").value();
+  rec.timestamp = SimTime::at_micros(1234567890123456LL);
+  rec.update = sample_update();
+  rec.update.sender = rec.peer_asn;
+
+  const auto bytes = encode_update_record(rec);
+  ByteReader r(bytes);
+  const auto raw = read_raw_record(r);
+  ASSERT_TRUE(raw);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(raw->type, static_cast<std::uint16_t>(RecordType::kBgp4mpEt));
+  const auto decoded = decode_update_record(*raw);
+  EXPECT_EQ(decoded.peer_asn, rec.peer_asn);
+  EXPECT_EQ(decoded.local_asn, rec.local_asn);
+  EXPECT_EQ(decoded.peer_ip, rec.peer_ip);
+  EXPECT_EQ(decoded.timestamp, rec.timestamp);  // microsecond precision
+  EXPECT_EQ(decoded.update.announced, rec.update.announced);
+}
+
+TEST(UpdateRecordTest, WrongSubtypeRejected) {
+  UpdateRecord rec;
+  rec.peer_asn = 1;
+  rec.update = sample_update();
+  const auto bytes = encode_update_record(rec);
+  ByteReader r(bytes);
+  auto raw = read_raw_record(r);
+  ASSERT_TRUE(raw);
+  raw->subtype = 99;
+  EXPECT_THROW(decode_update_record(*raw), DecodeError);
+  raw->subtype = static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4);
+  raw->type = static_cast<std::uint16_t>(RecordType::kTableDumpV2);
+  EXPECT_THROW(decode_update_record(*raw), DecodeError);
+}
+
+TEST(RawRecordTest, EmptyStreamYieldsNullopt) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(read_raw_record(r));
+}
+
+TEST(RawRecordTest, TruncatedHeaderThrows) {
+  const std::uint8_t junk[5] = {1, 2, 3, 4, 5};
+  ByteReader r(junk);
+  EXPECT_THROW(read_raw_record(r), DecodeError);
+}
+
+// ------------------------------------------------------------ ElemReader
+
+TEST(ElemReaderTest, UpdatesFanOutToElems) {
+  ByteWriter stream;
+  UpdateRecord rec;
+  rec.peer_asn = 64501;
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update = sample_update();
+  stream.bytes(encode_update_record(rec));
+
+  const auto elems = read_elems(stream.data());
+  ASSERT_EQ(elems.size(), 3u);  // 2 announces + 1 withdraw
+  EXPECT_EQ(elems[0].type, ElemType::kAnnounce);
+  EXPECT_EQ(elems[1].type, ElemType::kAnnounce);
+  EXPECT_EQ(elems[2].type, ElemType::kWithdraw);
+  EXPECT_EQ(elems[0].peer_asn, 64501u);
+  EXPECT_EQ(elems[0].origin_as(), 65030u);
+  EXPECT_EQ(elems[0].timestamp, SimTime::at_seconds(100));
+  EXPECT_EQ(elems[2].prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(ElemReaderTest, TableDumpFansOutRibEntries) {
+  std::vector<RibEntryRecord> entries;
+  for (int i = 0; i < 3; ++i) {
+    RibEntryRecord entry;
+    entry.peer_asn = 100 + static_cast<bgp::Asn>(i % 2);  // two distinct peers
+    entry.timestamp = SimTime::at_seconds(50);
+    entry.route.prefix = net::Prefix::must_parse("10.0." + std::to_string(i) + ".0/24");
+    entry.route.attrs.as_path = bgp::AsPath({100, 200});
+    entries.push_back(entry);
+  }
+  const auto bytes = encode_table_dump(entries, SimTime::at_seconds(7200));
+  const auto elems = read_elems(bytes);
+  ASSERT_EQ(elems.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(elems[i].type, ElemType::kRibEntry);
+    EXPECT_EQ(elems[i].peer_asn, 100 + static_cast<bgp::Asn>(i % 2));
+    EXPECT_EQ(elems[i].attrs.as_path.to_string(), "100 200");
+    EXPECT_EQ(elems[i].timestamp, SimTime::at_seconds(50));
+  }
+}
+
+TEST(ElemReaderTest, MixedStream) {
+  ByteWriter stream;
+  RibEntryRecord entry;
+  entry.peer_asn = 7;
+  entry.route.prefix = net::Prefix::must_parse("10.0.0.0/16");
+  entry.route.attrs.as_path = bgp::AsPath({7, 8});
+  stream.bytes(encode_table_dump({entry}, SimTime::zero()));
+  UpdateRecord rec;
+  rec.peer_asn = 9;
+  rec.update = sample_update();
+  stream.bytes(encode_update_record(rec));
+
+  const auto elems = read_elems(stream.data());
+  ASSERT_EQ(elems.size(), 4u);
+  EXPECT_EQ(elems[0].type, ElemType::kRibEntry);
+  EXPECT_EQ(elems[1].type, ElemType::kAnnounce);
+}
+
+TEST(ElemReaderTest, UnknownRecordTypesSkipped) {
+  ByteWriter stream;
+  const std::uint8_t body[4] = {1, 2, 3, 4};
+  write_raw_record(stream, static_cast<RecordType>(99), 0, SimTime::zero(), body);
+  UpdateRecord rec;
+  rec.peer_asn = 9;
+  rec.update = sample_update();
+  stream.bytes(encode_update_record(rec));
+  const auto elems = read_elems(stream.data());
+  EXPECT_EQ(elems.size(), 3u);  // junk record ignored, update decoded
+}
+
+TEST(ElemReaderTest, RibEntryWithUnknownPeerThrows) {
+  // A RIB record without a preceding PEER_INDEX_TABLE must fail loudly.
+  std::vector<RibEntryRecord> entries;
+  RibEntryRecord entry;
+  entry.peer_asn = 7;
+  entry.route.prefix = net::Prefix::must_parse("10.0.0.0/16");
+  entry.route.attrs.as_path = bgp::AsPath({7});
+  entries.push_back(entry);
+  auto bytes = encode_table_dump(entries, SimTime::zero());
+  // Strip the first record (the peer index). Parse its header to find the
+  // boundary: 12-byte header + body length at offset 8.
+  ByteReader r(bytes);
+  r.u32();
+  r.u16();
+  r.u16();
+  const std::uint32_t len = r.u32();
+  const std::size_t cut = 12 + len;
+  std::vector<std::uint8_t> without_index(bytes.begin() + static_cast<long>(cut),
+                                          bytes.end());
+  EXPECT_THROW(read_elems(without_index), DecodeError);
+}
+
+TEST(ElemReaderTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/artemis_mrt_test.mrt";
+  ByteWriter stream;
+  UpdateRecord rec;
+  rec.peer_asn = 3;
+  rec.update = sample_update();
+  stream.bytes(encode_update_record(rec));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(stream.data().data()),
+              static_cast<std::streamsize>(stream.data().size()));
+  }
+  const auto elems = read_elems_from_file(path);
+  EXPECT_EQ(elems.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_elems_from_file(path), std::runtime_error);
+}
+
+TEST(ElemTest, ToStringFormats) {
+  BgpElem e;
+  e.type = ElemType::kAnnounce;
+  e.peer_asn = 5;
+  e.prefix = net::Prefix::must_parse("10.0.0.0/24");
+  e.attrs.as_path = bgp::AsPath({5, 6});
+  const auto s = e.to_string();
+  EXPECT_NE(s.find("A|"), std::string::npos);
+  EXPECT_NE(s.find("AS5"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.0/24"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace artemis::mrt

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "netbase/prefix.hpp"
+
+namespace artemis::net {
+namespace {
+
+TEST(PrefixTest, ParseAndFormat) {
+  const auto p = Prefix::parse("10.0.0.0/23");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 23);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/23");
+  EXPECT_TRUE(p->is_v4());
+}
+
+TEST(PrefixTest, ConstructionCanonicalizesHostBits) {
+  const Prefix p(IpAddress::parse("10.0.1.77").value(), 23);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/23");
+  const auto parsed = Prefix::parse("192.168.1.1/24");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->to_string(), "192.168.1.0/24");
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));       // no slash
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));    // too long for v4
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/x"));
+  EXPECT_FALSE(Prefix::parse("300.0.0.0/8"));
+  EXPECT_FALSE(Prefix::parse("::/129"));
+  EXPECT_FALSE(Prefix::parse(""));
+}
+
+TEST(PrefixTest, MustParseThrowsOnBadInput) {
+  EXPECT_THROW(Prefix::must_parse("nope"), std::invalid_argument);
+  EXPECT_NO_THROW(Prefix::must_parse("0.0.0.0/0"));
+}
+
+TEST(PrefixTest, OutOfRangeLengthThrows) {
+  EXPECT_THROW(Prefix(IpAddress::v4(0), 33), std::out_of_range);
+  EXPECT_THROW(Prefix(IpAddress::v4(0), -1), std::out_of_range);
+  EXPECT_NO_THROW(Prefix(IpAddress::v6(0, 0), 128));
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  const auto p = Prefix::must_parse("10.0.0.0/23");
+  EXPECT_TRUE(p.contains(IpAddress::parse("10.0.0.0").value()));
+  EXPECT_TRUE(p.contains(IpAddress::parse("10.0.1.255").value()));
+  EXPECT_FALSE(p.contains(IpAddress::parse("10.0.2.0").value()));
+  EXPECT_FALSE(p.contains(IpAddress::parse("9.255.255.255").value()));
+  EXPECT_FALSE(p.contains(IpAddress::v6(0, 0)));  // family mismatch
+}
+
+TEST(PrefixTest, CoversIsReflexiveAndDirectional) {
+  const auto p23 = Prefix::must_parse("10.0.0.0/23");
+  const auto p24 = Prefix::must_parse("10.0.1.0/24");
+  EXPECT_TRUE(p23.covers(p23));
+  EXPECT_TRUE(p23.covers(p24));
+  EXPECT_FALSE(p24.covers(p23));
+  EXPECT_FALSE(p23.covers(Prefix::must_parse("10.0.2.0/24")));
+}
+
+TEST(PrefixTest, OverlapsEitherDirection) {
+  const auto p23 = Prefix::must_parse("10.0.0.0/23");
+  const auto p24 = Prefix::must_parse("10.0.1.0/24");
+  const auto other = Prefix::must_parse("10.1.0.0/16");
+  EXPECT_TRUE(p23.overlaps(p24));
+  EXPECT_TRUE(p24.overlaps(p23));
+  EXPECT_FALSE(p23.overlaps(other));
+  EXPECT_TRUE(Prefix::must_parse("0.0.0.0/0").overlaps(p23));
+}
+
+TEST(PrefixTest, SplitProducesHalves) {
+  const auto p = Prefix::must_parse("10.0.0.0/23");
+  const auto [low, high] = p.split();
+  EXPECT_EQ(low.to_string(), "10.0.0.0/24");
+  EXPECT_EQ(high.to_string(), "10.0.1.0/24");
+  EXPECT_TRUE(p.covers(low));
+  EXPECT_TRUE(p.covers(high));
+  EXPECT_FALSE(low.overlaps(high));
+}
+
+TEST(PrefixTest, SplitHostPrefixThrows) {
+  EXPECT_THROW(Prefix::must_parse("10.0.0.1/32").split(), std::logic_error);
+}
+
+TEST(PrefixTest, DeaggregateToTarget) {
+  const auto p = Prefix::must_parse("10.0.0.0/22");
+  const auto subs = p.deaggregate(24);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_EQ(subs[0].to_string(), "10.0.0.0/24");
+  EXPECT_EQ(subs[1].to_string(), "10.0.1.0/24");
+  EXPECT_EQ(subs[2].to_string(), "10.0.2.0/24");
+  EXPECT_EQ(subs[3].to_string(), "10.0.3.0/24");
+}
+
+TEST(PrefixTest, DeaggregateIdentity) {
+  const auto p = Prefix::must_parse("10.0.0.0/24");
+  const auto subs = p.deaggregate(24);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], p);
+}
+
+TEST(PrefixTest, DeaggregateGuards) {
+  const auto p = Prefix::must_parse("10.0.0.0/8");
+  EXPECT_THROW(p.deaggregate(7), std::out_of_range);    // coarser than self
+  EXPECT_THROW(p.deaggregate(33), std::out_of_range);   // beyond family
+  EXPECT_THROW(p.deaggregate(24), std::out_of_range);   // fan-out 2^16
+}
+
+TEST(PrefixTest, ParentInverseOfSplit) {
+  const auto p = Prefix::must_parse("10.0.0.0/23");
+  const auto [low, high] = p.split();
+  EXPECT_EQ(low.parent(), p);
+  EXPECT_EQ(high.parent(), p);
+  EXPECT_THROW(Prefix::must_parse("0.0.0.0/0").parent(), std::logic_error);
+}
+
+TEST(PrefixTest, SizeV4) {
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/24").size_v4(), 256u);
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/23").size_v4(), 512u);
+  EXPECT_EQ(Prefix::must_parse("0.0.0.0/0").size_v4(), 1ULL << 32);
+  EXPECT_EQ(Prefix::must_parse("1.2.3.4/32").size_v4(), 1u);
+  EXPECT_THROW(Prefix::must_parse("::/64").size_v4(), std::logic_error);
+}
+
+TEST(PrefixTest, Ipv6PrefixOperations) {
+  const auto p = Prefix::must_parse("2001:db8::/32");
+  EXPECT_EQ(p.max_length(), 128);
+  EXPECT_TRUE(p.contains(IpAddress::parse("2001:db8::1").value()));
+  EXPECT_FALSE(p.contains(IpAddress::parse("2001:db9::1").value()));
+  const auto [low, high] = p.split();
+  EXPECT_EQ(low.to_string(), "2001:db8::/33");
+  EXPECT_EQ(high.to_string(), "2001:db8:8000::/33");
+}
+
+TEST(PrefixTest, FamiliesDoNotMix) {
+  const auto v4 = Prefix::must_parse("0.0.0.0/0");
+  const auto v6 = Prefix::must_parse("::/0");
+  EXPECT_FALSE(v4.covers(v6));
+  EXPECT_FALSE(v6.covers(v4));
+  EXPECT_FALSE(v4.overlaps(v6));
+  EXPECT_NE(v4, v6);
+}
+
+TEST(PrefixTest, HashDistinguishesLengthAndAddress) {
+  const std::hash<Prefix> h;
+  EXPECT_NE(h(Prefix::must_parse("10.0.0.0/23")), h(Prefix::must_parse("10.0.0.0/24")));
+  EXPECT_NE(h(Prefix::must_parse("10.0.0.0/24")), h(Prefix::must_parse("10.0.1.0/24")));
+  EXPECT_EQ(h(Prefix::must_parse("10.0.0.0/24")),
+            h(Prefix(IpAddress::parse("10.0.0.200").value(), 24)));
+}
+
+TEST(PrefixTest, OrderingIsDeterministic) {
+  const auto a = Prefix::must_parse("10.0.0.0/23");
+  const auto b = Prefix::must_parse("10.0.0.0/24");
+  const auto c = Prefix::must_parse("10.0.1.0/24");
+  EXPECT_LT(a, b);  // same address, shorter first
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace artemis::net

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "netbase/prefix_trie.hpp"
+
+namespace artemis::net {
+namespace {
+
+Prefix P(std::string_view s) { return Prefix::must_parse(s); }
+IpAddress A(std::string_view s) { return IpAddress::parse(s).value(); }
+
+TEST(PrefixTrieTest, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(P("10.0.0.0/8"), 2));  // overwrite, not new
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.find(P("10.0.0.0/9")), nullptr);
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(P("10.0.0.0/8")));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrieTest, RootPrefixStorable) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 7);
+  const auto hit = trie.lookup(A("203.0.113.9"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first, P("0.0.0.0/0"));
+  EXPECT_EQ(*hit->second, 7);
+}
+
+TEST(PrefixTrieTest, LongestPrefixMatchPrefersSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("10.0.0.0/8"), "eight");
+  trie.insert(P("10.0.0.0/23"), "twentythree");
+  trie.insert(P("10.0.1.0/24"), "twentyfour");
+
+  EXPECT_EQ(*trie.lookup(A("10.0.1.50"))->second, "twentyfour");
+  EXPECT_EQ(*trie.lookup(A("10.0.0.50"))->second, "twentythree");
+  EXPECT_EQ(*trie.lookup(A("10.99.0.1"))->second, "eight");
+  EXPECT_FALSE(trie.lookup(A("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrieTest, LookupReturnsMatchedPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(P("192.168.0.0/16"), 1);
+  const auto hit = trie.lookup(A("192.168.42.1"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first, P("192.168.0.0/16"));
+}
+
+TEST(PrefixTrieTest, LookupSkipsErasedMiddle) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/16"), 16);
+  trie.insert(P("10.0.0.0/24"), 24);
+  trie.erase(P("10.0.0.0/16"));
+  EXPECT_EQ(*trie.lookup(A("10.0.0.1"))->second, 24);
+  EXPECT_EQ(*trie.lookup(A("10.0.1.1"))->second, 8);  // /16 gone, falls to /8
+}
+
+TEST(PrefixTrieTest, LookupCoveringFindsMostSpecificAncestor) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/23"), 23);
+  const auto hit = trie.lookup_covering(P("10.0.0.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first, P("10.0.0.0/23"));
+  // Exact match counts as covering.
+  EXPECT_EQ(trie.lookup_covering(P("10.0.0.0/23"))->first, P("10.0.0.0/23"));
+  EXPECT_FALSE(trie.lookup_covering(P("11.0.0.0/24")).has_value());
+}
+
+TEST(PrefixTrieTest, VisitCoveredEnumeratesSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/23"), 1);
+  trie.insert(P("10.0.0.0/24"), 2);
+  trie.insert(P("10.0.1.0/24"), 3);
+  trie.insert(P("10.0.2.0/24"), 4);  // outside /23
+  trie.insert(P("10.0.0.0/8"), 5);   // above /23
+
+  std::map<std::string, int> seen;
+  trie.visit_covered(P("10.0.0.0/23"),
+                     [&](const Prefix& p, const int& v) { seen[p.to_string()] = v; });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.at("10.0.0.0/23"), 1);
+  EXPECT_EQ(seen.at("10.0.0.0/24"), 2);
+  EXPECT_EQ(seen.at("10.0.1.0/24"), 3);
+}
+
+TEST(PrefixTrieTest, VisitCoveringWalksAncestors) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/16"), 16);
+  trie.insert(P("10.0.0.0/24"), 24);
+  trie.insert(P("10.0.0.0/28"), 28);  // more specific: not covering /24
+  trie.insert(P("10.1.0.0/16"), 99);  // sibling: not covering
+
+  std::vector<int> seen;
+  trie.visit_covering(P("10.0.0.0/24"),
+                      [&](const Prefix&, const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8, 16, 24}));  // root-to-leaf order
+}
+
+TEST(PrefixTrieTest, VisitCoveringNoAncestors) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/24"), 1);
+  int count = 0;
+  trie.visit_covering(P("11.0.0.0/24"), [&](const Prefix&, const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PrefixTrieTest, VisitAllBothFamilies) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("2001:db8::/32"), 2);
+  int count = 0;
+  trie.visit_all([&](const Prefix&, const int&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PrefixTrieTest, FamiliesAreIsolated) {
+  PrefixTrie<int> trie;
+  trie.insert(P("::/0"), 6);
+  EXPECT_FALSE(trie.lookup(A("1.2.3.4")).has_value());
+  trie.insert(P("0.0.0.0/0"), 4);
+  EXPECT_EQ(*trie.lookup(A("1.2.3.4"))->second, 4);
+  EXPECT_EQ(*trie.lookup(A("2001:db8::1"))->second, 6);
+}
+
+TEST(PrefixTrieTest, HostRoutesWork) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.1/32"), 1);
+  EXPECT_EQ(*trie.lookup(A("10.0.0.1"))->second, 1);
+  EXPECT_FALSE(trie.lookup(A("10.0.0.2")).has_value());
+}
+
+TEST(PrefixTrieTest, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("2001:db8::/32"), 2);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.lookup(A("10.1.2.3")).has_value());
+}
+
+TEST(PrefixTrieTest, EraseOnlyRemovesExact) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/16"), 16);
+  EXPECT_FALSE(trie.erase(P("10.0.0.0/12")));  // never inserted
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(A("10.0.0.1"))->second, 16);
+}
+
+TEST(PrefixTrieTest, ReinsertAfterErase) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/24"), 1);
+  trie.erase(P("10.0.0.0/24"));
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/24"), 2));
+  EXPECT_EQ(*trie.find(P("10.0.0.0/24")), 2);
+}
+
+TEST(PrefixTrieTest, MoveOnlyValues) {
+  PrefixTrie<std::unique_ptr<int>> trie;
+  trie.insert(P("10.0.0.0/8"), std::make_unique<int>(42));
+  ASSERT_NE(trie.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(**trie.find(P("10.0.0.0/8")), 42);
+}
+
+TEST(PrefixTrieTest, VisitCoveredOnMissingSubtreeIsNoop) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  int count = 0;
+  trie.visit_covered(P("11.0.0.0/8"), [&](const Prefix&, const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace artemis::net

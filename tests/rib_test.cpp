@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "bgp/rib.hpp"
+
+namespace artemis::bgp {
+namespace {
+
+Route make_route(std::string_view prefix, std::vector<Asn> path, Asn from,
+                 std::uint32_t local_pref = 100) {
+  Route r;
+  r.prefix = net::Prefix::must_parse(prefix);
+  r.attrs.as_path = AsPath(std::move(path));
+  r.attrs.local_pref = local_pref;
+  r.learned_from = from;
+  return r;
+}
+
+// ------------------------------------------------------------ decision
+
+TEST(DecisionTest, HigherLocalPrefWins) {
+  const auto a = make_route("10.0.0.0/24", {1, 2, 3}, 1, 300);
+  const auto b = make_route("10.0.0.0/24", {4, 5}, 4, 100);
+  EXPECT_TRUE(better_route(a, b));   // longer path but higher pref
+  EXPECT_FALSE(better_route(b, a));
+}
+
+TEST(DecisionTest, ShorterPathBreaksPrefTie) {
+  const auto a = make_route("10.0.0.0/24", {1, 3}, 1);
+  const auto b = make_route("10.0.0.0/24", {4, 5, 3}, 4);
+  EXPECT_TRUE(better_route(a, b));
+  EXPECT_FALSE(better_route(b, a));
+}
+
+TEST(DecisionTest, LowerOriginBreaksPathTie) {
+  auto a = make_route("10.0.0.0/24", {1, 3}, 1);
+  auto b = make_route("10.0.0.0/24", {4, 3}, 4);
+  a.attrs.origin = Origin::kIgp;
+  b.attrs.origin = Origin::kIncomplete;
+  EXPECT_TRUE(better_route(a, b));
+}
+
+TEST(DecisionTest, LowerMedBreaksOriginTie) {
+  auto a = make_route("10.0.0.0/24", {1, 3}, 1);
+  auto b = make_route("10.0.0.0/24", {4, 3}, 4);
+  a.attrs.med = 10;
+  b.attrs.med = 5;
+  EXPECT_TRUE(better_route(b, a));
+}
+
+TEST(DecisionTest, NeighborAsnIsFinalTieBreak) {
+  const auto a = make_route("10.0.0.0/24", {1, 3}, 1);
+  const auto b = make_route("10.0.0.0/24", {4, 3}, 4);
+  EXPECT_TRUE(better_route(a, b));  // 1 < 4
+}
+
+TEST(DecisionTest, StrictPreference) {
+  const auto a = make_route("10.0.0.0/24", {1, 3}, 1);
+  EXPECT_FALSE(better_route(a, a));  // irreflexive
+}
+
+// ----------------------------------------------------------------- LocRib
+
+TEST(LocRibTest, FirstAnnounceInstallsBest) {
+  LocRib rib;
+  const auto r = make_route("10.0.0.0/24", {5, 9}, 5);
+  const auto change = rib.announce(r);
+  ASSERT_TRUE(change);
+  EXPECT_TRUE(change->is_new_prefix());
+  EXPECT_EQ(change->new_best->learned_from, 5u);
+  ASSERT_NE(rib.best(r.prefix), nullptr);
+  EXPECT_EQ(rib.prefix_count(), 1u);
+}
+
+TEST(LocRibTest, BetterCandidateReplacesBest) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {5, 8, 9}, 5));
+  const auto change = rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  ASSERT_TRUE(change);
+  EXPECT_EQ(change->old_best->learned_from, 5u);
+  EXPECT_EQ(change->new_best->learned_from, 6u);
+}
+
+TEST(LocRibTest, WorseCandidateKeepsBestSilently) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  const auto change = rib.announce(make_route("10.0.0.0/24", {5, 8, 9}, 5));
+  EXPECT_FALSE(change);
+  EXPECT_EQ(rib.best(net::Prefix::must_parse("10.0.0.0/24"))->learned_from, 6u);
+  EXPECT_EQ(rib.candidates(net::Prefix::must_parse("10.0.0.0/24")).size(), 2u);
+}
+
+TEST(LocRibTest, IdenticalRefreshIsSilent) {
+  LocRib rib;
+  const auto r = make_route("10.0.0.0/24", {5, 9}, 5);
+  rib.announce(r);
+  EXPECT_FALSE(rib.announce(r));
+}
+
+TEST(LocRibTest, ImplicitWithdrawReplacesSameNeighbor) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {5, 9}, 5));
+  const auto change = rib.announce(make_route("10.0.0.0/24", {5, 8, 8, 9}, 5));
+  ASSERT_TRUE(change);  // same neighbor re-announced a different path
+  EXPECT_EQ(change->new_best->path_length(), 4u);
+  EXPECT_EQ(rib.candidates(net::Prefix::must_parse("10.0.0.0/24")).size(), 1u);
+}
+
+TEST(LocRibTest, WithdrawBestPromotesRunnerUp) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  rib.announce(make_route("10.0.0.0/24", {5, 8, 9}, 5));
+  const auto change = rib.withdraw(net::Prefix::must_parse("10.0.0.0/24"), 6);
+  ASSERT_TRUE(change);
+  EXPECT_EQ(change->new_best->learned_from, 5u);
+  EXPECT_FALSE(change->is_removal());
+}
+
+TEST(LocRibTest, WithdrawNonBestIsSilent) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  rib.announce(make_route("10.0.0.0/24", {5, 8, 9}, 5));
+  EXPECT_FALSE(rib.withdraw(net::Prefix::must_parse("10.0.0.0/24"), 5));
+}
+
+TEST(LocRibTest, LastWithdrawRemovesPrefix) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  const auto change = rib.withdraw(net::Prefix::must_parse("10.0.0.0/24"), 6);
+  ASSERT_TRUE(change);
+  EXPECT_TRUE(change->is_removal());
+  EXPECT_EQ(rib.best(net::Prefix::must_parse("10.0.0.0/24")), nullptr);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(LocRibTest, WithdrawUnknownIsSilent) {
+  LocRib rib;
+  EXPECT_FALSE(rib.withdraw(net::Prefix::must_parse("10.0.0.0/24"), 6));
+  rib.announce(make_route("10.0.0.0/24", {6, 9}, 6));
+  EXPECT_FALSE(rib.withdraw(net::Prefix::must_parse("10.0.0.0/24"), 99));
+}
+
+TEST(LocRibTest, LookupUsesLongestPrefixMatchOverBest) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/8", {1, 2}, 1));
+  rib.announce(make_route("10.0.0.0/24", {3, 4}, 3));
+  const auto via24 = rib.lookup(net::IpAddress::parse("10.0.0.77").value());
+  ASSERT_TRUE(via24);
+  EXPECT_EQ(via24->learned_from, 3u);
+  const auto via8 = rib.lookup(net::IpAddress::parse("10.200.0.1").value());
+  ASSERT_TRUE(via8);
+  EXPECT_EQ(via8->learned_from, 1u);
+  EXPECT_FALSE(rib.lookup(net::IpAddress::parse("11.0.0.1").value()));
+}
+
+TEST(LocRibTest, VisitBestCoversAllPrefixes) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/24", {1}, 1));
+  rib.announce(make_route("10.0.1.0/24", {1}, 1));
+  rib.announce(make_route("10.0.1.0/24", {2}, 2));  // extra candidate
+  int count = 0;
+  rib.visit_best([&](const Route&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LocRibTest, VisitCoveredScopesToSubtree) {
+  LocRib rib;
+  rib.announce(make_route("10.0.0.0/23", {1}, 1));
+  rib.announce(make_route("10.0.0.0/24", {1}, 1));
+  rib.announce(make_route("10.1.0.0/24", {1}, 1));
+  std::vector<std::string> seen;
+  rib.visit_covered(net::Prefix::must_parse("10.0.0.0/23"),
+                    [&](const Route& r) { seen.push_back(r.prefix.to_string()); });
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(LocRibTest, SelfOriginatedUsesNoAsnKey) {
+  LocRib rib;
+  auto self = make_route("10.0.0.0/23", {65001}, kNoAsn, 1000);
+  rib.announce(self);
+  // A learned candidate with lower pref must not displace it.
+  rib.announce(make_route("10.0.0.0/23", {2, 65009}, 2, 100));
+  EXPECT_EQ(rib.best(net::Prefix::must_parse("10.0.0.0/23"))->learned_from, kNoAsn);
+  // Withdrawing the origin hands over to the learned candidate.
+  const auto change = rib.withdraw(net::Prefix::must_parse("10.0.0.0/23"), kNoAsn);
+  ASSERT_TRUE(change);
+  EXPECT_EQ(change->new_best->learned_from, 2u);
+}
+
+}  // namespace
+}  // namespace artemis::bgp

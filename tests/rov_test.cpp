@@ -1,0 +1,135 @@
+// Route-origin-validation enforcement in the simulator (extension; E8).
+#include <gtest/gtest.h>
+
+#include "rpki/roa.hpp"
+#include "sim/network.hpp"
+#include "topology/as_graph.hpp"
+
+namespace artemis::sim {
+namespace {
+
+// 1 (tier1) provider-of 2 provider-of 3(victim); 1 provider-of 4(attacker).
+topo::AsGraph fork_graph() {
+  topo::AsGraph g;
+  g.add_as(1, topo::Tier::kTier1);
+  g.add_as(2, topo::Tier::kTier2);
+  g.add_as(3, topo::Tier::kStub);
+  g.add_as(4, topo::Tier::kStub);
+  g.add_customer_link(1, 2);
+  g.add_customer_link(2, 3);
+  g.add_customer_link(1, 4);
+  return g;
+}
+
+const net::Prefix kPrefix = net::Prefix::must_parse("10.0.0.0/23");
+
+rpki::RoaTable victim_roas() {
+  rpki::RoaTable roas;
+  rpki::Roa roa;
+  roa.prefix = kPrefix;
+  roa.asn = 3;
+  roa.max_length = 24;
+  roas.add(roa);
+  return roas;
+}
+
+TEST(RovTest, EnforcingSpeakerDropsInvalidAnnouncements) {
+  const auto graph = fork_graph();
+  const auto roas = victim_roas();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  params.roa_table = &roas;
+  params.rov_fraction = 1.0;  // everyone enforces
+  Network network(graph, params, Rng(1));
+  EXPECT_EQ(network.rov_enforcer_count(), 4u);
+
+  network.speaker(3).originate(kPrefix);  // valid origin
+  network.run_to_convergence();
+  EXPECT_EQ(network.resolve_origin(1, kPrefix.address()), 3u);
+
+  network.speaker(4).originate(kPrefix);  // invalid origin (hijack)
+  network.run_to_convergence();
+  // AS1 hears the hijack directly from its customer 4 but drops it.
+  EXPECT_EQ(network.resolve_origin(1, kPrefix.address()), 3u);
+  EXPECT_EQ(network.resolve_origin(2, kPrefix.address()), 3u);
+  EXPECT_GT(network.total_stats().rov_dropped, 0u);
+}
+
+TEST(RovTest, NoRoaTableMeansNoEnforcement) {
+  const auto graph = fork_graph();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  params.rov_fraction = 1.0;  // ignored without a table
+  Network network(graph, params, Rng(2));
+  EXPECT_EQ(network.rov_enforcer_count(), 0u);
+
+  network.speaker(3).originate(kPrefix);
+  network.run_to_convergence();
+  network.speaker(4).originate(kPrefix);
+  network.run_to_convergence();
+  // AS1 prefers its direct customer 4 (shorter path, same pref band).
+  EXPECT_EQ(network.resolve_origin(1, kPrefix.address()), 4u);
+}
+
+TEST(RovTest, PartialDeploymentLeavesResidualCapture) {
+  const auto graph = fork_graph();
+  const auto roas = victim_roas();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  params.roa_table = &roas;
+  params.rov_fraction = 0.0;
+  Network network(graph, params, Rng(3));
+  EXPECT_EQ(network.rov_enforcer_count(), 0u);  // fraction 0: nobody
+}
+
+TEST(RovTest, ForgedOriginEvadesRov) {
+  // Victim one level deeper than in fork_graph, so the attacker's forged
+  // two-hop path beats the legitimate three-hop path at the tier-1.
+  topo::AsGraph graph;
+  graph.add_as(1, topo::Tier::kTier1);
+  graph.add_as(2, topo::Tier::kTier2);
+  graph.add_as(6, topo::Tier::kTier2);
+  graph.add_as(3, topo::Tier::kStub);
+  graph.add_as(4, topo::Tier::kStub);
+  graph.add_customer_link(1, 2);
+  graph.add_customer_link(2, 6);
+  graph.add_customer_link(6, 3);
+  graph.add_customer_link(1, 4);
+  const auto roas = victim_roas();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  params.roa_table = &roas;
+  params.rov_fraction = 1.0;
+  Network network(graph, params, Rng(4));
+
+  network.speaker(3).originate(kPrefix);
+  network.run_to_convergence();
+  // Attacker forges the victim as origin: path [4, 3] validates kValid.
+  network.speaker(4).originate_with_path(kPrefix, bgp::AsPath({4, 3}));
+  network.run_to_convergence();
+  // AS1 accepts it (valid origin!) and prefers the shorter customer path.
+  const auto* route = network.speaker(1).best_route(kPrefix);
+  ASSERT_NE(route, nullptr);
+  EXPECT_TRUE(route->attrs.as_path.contains(4));
+  EXPECT_EQ(route->origin_as(), 3u);  // looks legitimate to ROV
+  EXPECT_EQ(network.total_stats().rov_dropped, 0u);
+}
+
+TEST(RovTest, RovAlsoAcceptsAuthorizedMoreSpecifics) {
+  const auto graph = fork_graph();
+  const auto roas = victim_roas();  // maxLength 24
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  params.roa_table = &roas;
+  params.rov_fraction = 1.0;
+  Network network(graph, params, Rng(5));
+
+  // The victim's mitigation /24s validate kValid and propagate.
+  network.speaker(3).originate(net::Prefix::must_parse("10.0.0.0/24"));
+  network.speaker(3).originate(net::Prefix::must_parse("10.0.1.0/24"));
+  network.run_to_convergence();
+  EXPECT_EQ(network.resolve_origin(1, net::IpAddress::parse("10.0.1.1").value()), 3u);
+}
+
+}  // namespace
+}  // namespace artemis::sim

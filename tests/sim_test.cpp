@@ -1,0 +1,514 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/speaker.hpp"
+#include "topology/generator.hpp"
+
+namespace artemis::sim {
+namespace {
+
+// --------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(SimTime::at_seconds(3), [&] { order.push_back(3); });
+  sim.at(SimTime::at_seconds(1), [&] { order.push_back(1); });
+  sim.at(SimTime::at_seconds(2), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::at_seconds(3));
+}
+
+TEST(SimulatorTest, SameInstantFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(SimTime::at_seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  SimTime fired;
+  sim.at(SimTime::at_seconds(5), [&] {
+    sim.after(SimDuration::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, SimTime::at_seconds(7));
+}
+
+TEST(SimulatorTest, PastEventsRunNow) {
+  Simulator sim;
+  sim.at(SimTime::at_seconds(10), [&] {
+    sim.at(SimTime::at_seconds(1), [&] {
+      EXPECT_EQ(sim.now(), SimTime::at_seconds(10));  // clamped to now
+    });
+  });
+  EXPECT_EQ(sim.run_all(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutOvershooting) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::at_seconds(1), [&] { ++fired; });
+  sim.at(SimTime::at_seconds(10), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime::at_seconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::at_seconds(5));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.next_event_time(), SimTime::at_seconds(10));
+}
+
+TEST(SimulatorTest, IdleAndNextEventSentinels) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.next_event_time(), SimTime::never());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventBudgetGuardsLivelock) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.after(SimDuration::seconds(1), forever); };
+  sim.at(SimTime::zero(), forever);
+  EXPECT_THROW(sim.run_all(1000), std::runtime_error);
+}
+
+// ------------------------------------------------------------- BgpSpeaker
+
+struct Captured {
+  bgp::Asn to;
+  bgp::UpdateMessage update;
+  SimTime at;
+};
+
+struct SpeakerHarness {
+  Simulator sim;
+  std::vector<Captured> sent;
+  topo::PolicyConfig policy;
+
+  std::unique_ptr<BgpSpeaker> make(bgp::Asn asn) {
+    auto speaker = std::make_unique<BgpSpeaker>(
+        sim, asn, policy, Rng(asn),
+        [this](bgp::Asn to, const bgp::UpdateMessage& update) {
+          sent.push_back({to, update, sim.now()});
+        });
+    return speaker;
+  }
+
+  static SessionConfig session(bgp::Asn peer, topo::Relationship rel,
+                               SimDuration mrai = SimDuration::zero()) {
+    SessionConfig s;
+    s.peer = peer;
+    s.relationship = rel;
+    s.mrai = mrai;
+    return s;
+  }
+};
+
+TEST(SpeakerTest, OriginateExportsToAllSessions) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(2, topo::Relationship::kPeer));
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+  speaker->originate(net::Prefix::must_parse("10.0.0.0/23"));
+  h.sim.run_all();
+  ASSERT_EQ(h.sent.size(), 3u);  // self-originated goes everywhere
+  for (const auto& msg : h.sent) {
+    ASSERT_EQ(msg.update.announced.size(), 1u);
+    EXPECT_EQ(msg.update.attrs.as_path.to_string(), "100");
+  }
+}
+
+TEST(SpeakerTest, LearnedFromProviderOnlyExportsToCustomers) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(2, topo::Relationship::kPeer));
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+
+  bgp::UpdateMessage update;
+  update.sender = 1;
+  update.attrs.as_path = bgp::AsPath({1, 50});
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+  speaker->receive(update, 1);
+  h.sim.run_all();
+
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].to, 3u);
+  EXPECT_EQ(h.sent[0].update.attrs.as_path.to_string(), "100 1 50");
+}
+
+TEST(SpeakerTest, LearnedFromCustomerExportsEverywhereExceptSource) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(2, topo::Relationship::kPeer));
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+  speaker->add_session(SpeakerHarness::session(4, topo::Relationship::kCustomer));
+
+  bgp::UpdateMessage update;
+  update.sender = 3;
+  update.attrs.as_path = bgp::AsPath({3});
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+  speaker->receive(update, 3);
+  h.sim.run_all();
+
+  std::set<bgp::Asn> targets;
+  for (const auto& msg : h.sent) targets.insert(msg.to);
+  EXPECT_EQ(targets, (std::set<bgp::Asn>{1, 2, 4}));  // not back to 3
+}
+
+TEST(SpeakerTest, PrefersCustomerRouteOverProviderRoute) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/23");
+  bgp::UpdateMessage via_provider;
+  via_provider.sender = 1;
+  via_provider.attrs.as_path = bgp::AsPath({1, 50});  // shorter
+  via_provider.announced.push_back(prefix);
+  speaker->receive(via_provider, 1);
+
+  bgp::UpdateMessage via_customer;
+  via_customer.sender = 3;
+  via_customer.attrs.as_path = bgp::AsPath({3, 60, 70, 50});  // longer but customer
+  via_customer.announced.push_back(prefix);
+  speaker->receive(via_customer, 3);
+
+  ASSERT_NE(speaker->best_route(prefix), nullptr);
+  EXPECT_EQ(speaker->best_route(prefix)->learned_from, 3u);
+}
+
+TEST(SpeakerTest, DropsLoopedPaths) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  bgp::UpdateMessage update;
+  update.sender = 1;
+  update.attrs.as_path = bgp::AsPath({1, 100, 50});  // contains self
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+  speaker->receive(update, 1);
+  EXPECT_EQ(speaker->best_route(net::Prefix::must_parse("10.0.0.0/23")), nullptr);
+  EXPECT_EQ(speaker->stats().loops_dropped, 1u);
+}
+
+TEST(SpeakerTest, FiltersTooSpecificPrefixes) {
+  SpeakerHarness h;
+  h.policy.max_accepted_prefix_len = 24;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  bgp::UpdateMessage update;
+  update.sender = 1;
+  update.attrs.as_path = bgp::AsPath({1, 50});
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/25"));
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/24"));
+  speaker->receive(update, 1);
+  EXPECT_EQ(speaker->best_route(net::Prefix::must_parse("10.0.0.0/25")), nullptr);
+  EXPECT_NE(speaker->best_route(net::Prefix::must_parse("10.0.0.0/24")), nullptr);
+  EXPECT_EQ(speaker->stats().prefixes_filtered_too_specific, 1u);
+}
+
+TEST(SpeakerTest, WithdrawPropagatesWhenRouteLost) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/23");
+
+  bgp::UpdateMessage announce;
+  announce.sender = 1;
+  announce.attrs.as_path = bgp::AsPath({1, 50});
+  announce.announced.push_back(prefix);
+  speaker->receive(announce, 1);
+  h.sim.run_all();
+  h.sent.clear();
+
+  bgp::UpdateMessage withdraw;
+  withdraw.sender = 1;
+  withdraw.withdrawn.push_back(prefix);
+  speaker->receive(withdraw, 1);
+  h.sim.run_all();
+
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].to, 3u);
+  ASSERT_EQ(h.sent[0].update.withdrawn.size(), 1u);
+  EXPECT_EQ(h.sent[0].update.withdrawn[0], prefix);
+}
+
+TEST(SpeakerTest, NoSpuriousWithdrawToPeerThatNeverGotTheRoute) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->add_session(SpeakerHarness::session(2, topo::Relationship::kPeer));
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/23");
+
+  // Provider route: exported to nobody here (no customers).
+  bgp::UpdateMessage announce;
+  announce.sender = 1;
+  announce.attrs.as_path = bgp::AsPath({1, 50});
+  announce.announced.push_back(prefix);
+  speaker->receive(announce, 1);
+  h.sim.run_all();
+  EXPECT_TRUE(h.sent.empty());
+
+  bgp::UpdateMessage withdraw;
+  withdraw.sender = 1;
+  withdraw.withdrawn.push_back(prefix);
+  speaker->receive(withdraw, 1);
+  h.sim.run_all();
+  EXPECT_TRUE(h.sent.empty());  // peer 2 never had it: no withdraw sent
+}
+
+TEST(SpeakerTest, MraiBatchesChanges) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(
+      SpeakerHarness::session(3, topo::Relationship::kCustomer, SimDuration::seconds(30)));
+  speaker->originate(net::Prefix::must_parse("10.0.0.0/24"));
+  speaker->originate(net::Prefix::must_parse("10.0.1.0/24"));
+  h.sim.run_all();
+  // Both prefixes share one attribute set -> one batched update at the
+  // session's first scan tick (<= 30 s).
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].update.announced.size(), 2u);
+  EXPECT_LE(h.sent[0].at, SimTime::at_seconds(30));
+}
+
+TEST(SpeakerTest, MraiZeroSendsImmediately) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(3, topo::Relationship::kCustomer));
+  speaker->originate(net::Prefix::must_parse("10.0.0.0/24"));
+  h.sim.run_all();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].at, SimTime::zero());
+}
+
+TEST(SpeakerTest, ChangeTapSeesBestChangesWithPrependedPath) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  std::vector<bgp::UpdateMessage> tapped;
+  speaker->add_change_tap([&](const bgp::UpdateMessage& u) { tapped.push_back(u); });
+
+  bgp::UpdateMessage update;
+  update.sender = 1;
+  update.attrs.as_path = bgp::AsPath({1, 50});
+  update.announced.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+  speaker->receive(update, 1);
+  ASSERT_EQ(tapped.size(), 1u);
+  EXPECT_EQ(tapped[0].attrs.as_path.to_string(), "100 1 50");
+
+  bgp::UpdateMessage withdraw;
+  withdraw.sender = 1;
+  withdraw.withdrawn.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+  speaker->receive(withdraw, 1);
+  ASSERT_EQ(tapped.size(), 2u);
+  EXPECT_EQ(tapped[1].withdrawn.size(), 1u);
+}
+
+TEST(SpeakerTest, SelfOriginatedTapNotPrepended) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  std::vector<bgp::UpdateMessage> tapped;
+  speaker->add_change_tap([&](const bgp::UpdateMessage& u) { tapped.push_back(u); });
+  speaker->originate(net::Prefix::must_parse("10.0.0.0/23"));
+  ASSERT_EQ(tapped.size(), 1u);
+  EXPECT_EQ(tapped[0].attrs.as_path.to_string(), "100");
+}
+
+TEST(SpeakerTest, ResolveOriginFollowsLpm) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kProvider));
+  speaker->originate(net::Prefix::must_parse("10.0.0.0/23"));
+  bgp::UpdateMessage update;
+  update.sender = 1;
+  update.attrs.as_path = bgp::AsPath({1, 66});
+  update.announced.push_back(net::Prefix::must_parse("10.0.1.0/24"));
+  speaker->receive(update, 1);
+
+  EXPECT_EQ(speaker->resolve_origin(net::IpAddress::parse("10.0.0.1").value()), 100u);
+  EXPECT_EQ(speaker->resolve_origin(net::IpAddress::parse("10.0.1.1").value()), 66u);
+  EXPECT_EQ(speaker->resolve_origin(net::IpAddress::parse("11.0.0.1").value()),
+            bgp::kNoAsn);
+}
+
+TEST(SpeakerTest, SessionValidation) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  EXPECT_THROW(speaker->add_session(SpeakerHarness::session(100, topo::Relationship::kPeer)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      speaker->add_session(SpeakerHarness::session(bgp::kNoAsn, topo::Relationship::kPeer)),
+      std::invalid_argument);
+  speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kPeer));
+  EXPECT_THROW(speaker->add_session(SpeakerHarness::session(1, topo::Relationship::kPeer)),
+               std::invalid_argument);
+  EXPECT_TRUE(speaker->has_session(1));
+}
+
+TEST(SpeakerTest, PacingEnforcesMinimumSpacingPerSession) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(
+      SpeakerHarness::session(3, topo::Relationship::kCustomer, SimDuration::seconds(10)));
+  // Originate a new prefix every second for 30 s: updates to the session
+  // must be spaced >= ~10 s apart (one per scan tick), batching the rest.
+  for (int i = 0; i < 30; ++i) {
+    const auto prefix =
+        net::Prefix(net::IpAddress::v4(0x0A000000 + (static_cast<std::uint32_t>(i) << 8)), 24);
+    h.sim.at(SimTime::at_seconds(i), [&speaker, prefix] { speaker->originate(prefix); });
+  }
+  h.sim.run_all();
+  ASSERT_GE(h.sent.size(), 2u);
+  std::size_t announced_total = 0;
+  for (std::size_t i = 0; i < h.sent.size(); ++i) {
+    announced_total += h.sent[i].update.announced.size();
+    if (i > 0) {
+      EXPECT_GE((h.sent[i].at - h.sent[i - 1].at).as_seconds(), 9.999)
+          << "updates " << i - 1 << " and " << i;
+    }
+  }
+  EXPECT_EQ(announced_total, 30u);  // nothing lost to batching
+}
+
+TEST(SpeakerTest, WithdrawalAndReannounceSameTickCoalesce) {
+  SpeakerHarness h;
+  auto speaker = h.make(100);
+  speaker->add_session(
+      SpeakerHarness::session(3, topo::Relationship::kCustomer, SimDuration::seconds(5)));
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/24");
+  speaker->originate(prefix);
+  speaker->withdraw_origin(prefix);  // before the first flush
+  h.sim.run_all();
+  // Net effect is nothing: the prefix was never advertised, so neither an
+  // announcement nor a withdrawal must reach the peer.
+  EXPECT_TRUE(h.sent.empty());
+}
+
+// ---------------------------------------------------------------- Network
+
+topo::AsGraph line_graph() {
+  // 1 (tier1) -- provider of --> 2 -- provider of --> 3
+  topo::AsGraph g;
+  g.add_as(1, topo::Tier::kTier1);
+  g.add_as(2, topo::Tier::kTier2);
+  g.add_as(3, topo::Tier::kStub);
+  g.add_customer_link(1, 2);
+  g.add_customer_link(2, 3);
+  return g;
+}
+
+TEST(NetworkTest, PropagatesAnnouncementAcrossHops) {
+  const auto graph = line_graph();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();  // fast convergence for the unit test
+  Network network(graph, params, Rng(1));
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/23");
+  network.speaker(3).originate(prefix);
+  network.run_to_convergence();
+
+  EXPECT_EQ(network.resolve_origin(1, prefix.address()), 3u);
+  EXPECT_EQ(network.resolve_origin(2, prefix.address()), 3u);
+  const auto* route_at_1 = network.speaker(1).best_route(prefix);
+  ASSERT_NE(route_at_1, nullptr);
+  EXPECT_EQ(route_at_1->attrs.as_path.to_string(), "2 3");
+}
+
+TEST(NetworkTest, ValleyFreeBlocksPeerTransit) {
+  // peers 1 -- 2; 2 is provider of 3; 1 is provider of 4.
+  // 4's route reaches 2 (via peer 1? no: 1 learned it from customer 4, so
+  // 1 may export to peer 2). 3 must see it (2 exports provider/peer routes
+  // to customers). But a route learned by 1 from peer 2 must not reach
+  // 1's other peers.
+  topo::AsGraph g;
+  for (bgp::Asn a = 1; a <= 5; ++a) g.add_as(a);
+  g.add_peer_link(1, 2);
+  g.add_peer_link(1, 5);
+  g.add_customer_link(2, 3);
+  g.add_customer_link(1, 4);
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  Network network(g, params, Rng(2));
+  const auto prefix = net::Prefix::must_parse("10.0.0.0/23");
+  network.speaker(3).originate(prefix);
+  network.run_to_convergence();
+
+  // 3 -> 2 (customer->provider), 2 -> 1 (customer route to peer), 1 -> 4
+  // (to customer) but NOT 1 -> 5 (peer route to a peer = valley).
+  EXPECT_EQ(network.resolve_origin(1, prefix.address()), 3u);
+  EXPECT_EQ(network.resolve_origin(4, prefix.address()), 3u);
+  EXPECT_EQ(network.resolve_origin(5, prefix.address()), bgp::kNoAsn);
+}
+
+TEST(NetworkTest, LinkDelaySampledWithinBounds) {
+  const auto graph = line_graph();
+  NetworkParams params;
+  params.min_link_delay = SimDuration::millis(10);
+  params.max_link_delay = SimDuration::millis(150);
+  Network network(graph, params, Rng(3));
+  const auto d = network.link_delay(1, 2);
+  EXPECT_GE(d, params.min_link_delay);
+  EXPECT_LE(d, params.max_link_delay);
+  EXPECT_EQ(network.link_delay(1, 2), network.link_delay(2, 1));  // symmetric
+  EXPECT_THROW(network.link_delay(1, 3), std::invalid_argument);
+}
+
+TEST(NetworkTest, UnknownSpeakerThrows) {
+  const auto graph = line_graph();
+  Network network(graph, NetworkParams{}, Rng(4));
+  EXPECT_THROW(network.speaker(99), std::invalid_argument);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  const auto graph = line_graph();
+  NetworkParams params;
+  params.mrai = SimDuration::zero();
+  Network network(graph, params, Rng(5));
+  network.speaker(3).originate(net::Prefix::must_parse("10.0.0.0/23"));
+  network.run_to_convergence();
+  const auto stats = network.total_stats();
+  EXPECT_GE(stats.updates_sent, 2u);
+  EXPECT_EQ(stats.updates_sent, stats.updates_received);
+}
+
+TEST(NetworkTest, ConvergenceDeterministicGivenSeed) {
+  const auto graph = line_graph();
+  NetworkParams params;
+  auto run = [&](std::uint64_t seed) {
+    Network network(graph, params, Rng(seed));
+    network.speaker(3).originate(net::Prefix::must_parse("10.0.0.0/23"));
+    network.run_to_convergence();
+    return network.simulator().now();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(NetworkTest, MraiDelaysPropagation) {
+  const auto graph = line_graph();
+  NetworkParams fast;
+  fast.mrai = SimDuration::zero();
+  NetworkParams slow;
+  slow.mrai = SimDuration::seconds(30);
+  auto converge_time = [&](const NetworkParams& params) {
+    Network network(graph, params, Rng(7));
+    network.speaker(3).originate(net::Prefix::must_parse("10.0.0.0/23"));
+    network.run_to_convergence();
+    return network.simulator().now();
+  };
+  EXPECT_LT(converge_time(fast), SimTime::at_seconds(2));
+  EXPECT_GT(converge_time(slow), SimTime::at_seconds(2));
+}
+
+}  // namespace
+}  // namespace artemis::sim

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "topology/as_graph.hpp"
+#include "topology/generator.hpp"
+#include "topology/policy.hpp"
+
+namespace artemis::topo {
+namespace {
+
+TEST(AsGraphTest, AddAsIdempotent) {
+  AsGraph g;
+  g.add_as(1, Tier::kTier1);
+  g.add_as(1, Tier::kStub);  // second add must not downgrade tier
+  EXPECT_EQ(g.as_count(), 1u);
+  EXPECT_EQ(g.tier(1), Tier::kTier1);
+}
+
+TEST(AsGraphTest, RejectAsnZero) {
+  AsGraph g;
+  EXPECT_THROW(g.add_as(0), std::invalid_argument);
+}
+
+TEST(AsGraphTest, CustomerLinkSetsBothPerspectives) {
+  AsGraph g;
+  g.add_as(1);
+  g.add_as(2);
+  g.add_customer_link(1, 2);  // 1 is provider of 2
+  EXPECT_EQ(g.relationship(1, 2), Relationship::kCustomer);
+  EXPECT_EQ(g.relationship(2, 1), Relationship::kProvider);
+  EXPECT_TRUE(g.has_link(1, 2));
+  EXPECT_TRUE(g.has_link(2, 1));
+  EXPECT_EQ(g.link_count(), 1u);
+}
+
+TEST(AsGraphTest, PeerLinkSymmetric) {
+  AsGraph g;
+  g.add_as(1);
+  g.add_as(2);
+  g.add_peer_link(1, 2);
+  EXPECT_EQ(g.relationship(1, 2), Relationship::kPeer);
+  EXPECT_EQ(g.relationship(2, 1), Relationship::kPeer);
+}
+
+TEST(AsGraphTest, RejectsSelfAndDuplicateLinks) {
+  AsGraph g;
+  g.add_as(1);
+  g.add_as(2);
+  EXPECT_THROW(g.add_peer_link(1, 1), std::invalid_argument);
+  g.add_customer_link(1, 2);
+  EXPECT_THROW(g.add_customer_link(1, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_peer_link(1, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_customer_link(2, 1), std::invalid_argument);
+}
+
+TEST(AsGraphTest, UnknownAsThrows) {
+  AsGraph g;
+  g.add_as(1);
+  EXPECT_THROW(g.add_customer_link(1, 99), std::invalid_argument);
+  EXPECT_THROW(g.neighbors(99), std::invalid_argument);
+  EXPECT_THROW(g.tier(99), std::invalid_argument);
+  EXPECT_FALSE(g.relationship(99, 1).has_value());
+  EXPECT_FALSE(g.relationship(1, 99).has_value());
+}
+
+TEST(AsGraphTest, NeighborsWithFilter) {
+  AsGraph g;
+  for (bgp::Asn a = 1; a <= 4; ++a) g.add_as(a);
+  g.add_customer_link(1, 2);
+  g.add_customer_link(1, 3);
+  g.add_peer_link(1, 4);
+  EXPECT_EQ(g.neighbors_with(1, Relationship::kCustomer),
+            (std::vector<bgp::Asn>{2, 3}));
+  EXPECT_EQ(g.neighbors_with(1, Relationship::kPeer), (std::vector<bgp::Asn>{4}));
+  EXPECT_EQ(g.neighbors_with(2, Relationship::kProvider), (std::vector<bgp::Asn>{1}));
+}
+
+TEST(AsGraphTest, SerializeParseRoundTrip) {
+  AsGraph g;
+  for (bgp::Asn a = 1; a <= 4; ++a) g.add_as(a);
+  g.add_customer_link(1, 2);
+  g.add_peer_link(2, 3);
+  g.add_customer_link(3, 4);
+  const auto text = g.serialize();
+  const AsGraph parsed = AsGraph::parse(text);
+  EXPECT_EQ(parsed.as_count(), 4u);
+  EXPECT_EQ(parsed.link_count(), 3u);
+  EXPECT_EQ(parsed.relationship(1, 2), Relationship::kCustomer);
+  EXPECT_EQ(parsed.relationship(2, 3), Relationship::kPeer);
+  EXPECT_EQ(parsed.relationship(4, 3), Relationship::kProvider);
+}
+
+TEST(AsGraphTest, ParseRejectsMalformed) {
+  EXPECT_THROW(AsGraph::parse("1|2"), std::invalid_argument);
+  EXPECT_THROW(AsGraph::parse("1|2|5"), std::invalid_argument);
+  EXPECT_THROW(AsGraph::parse("a|2|0"), std::invalid_argument);
+}
+
+TEST(AsGraphTest, ParseSkipsCommentsAndBlanks) {
+  const AsGraph g = AsGraph::parse("# comment\n\n1|2|-1\n  \n");
+  EXPECT_EQ(g.as_count(), 2u);
+  EXPECT_EQ(g.link_count(), 1u);
+}
+
+TEST(RelationshipTest, ReverseIsInvolution) {
+  for (const auto r :
+       {Relationship::kCustomer, Relationship::kPeer, Relationship::kProvider}) {
+    EXPECT_EQ(reverse(reverse(r)), r);
+  }
+  EXPECT_EQ(reverse(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+// ----------------------------------------------------------------- policy
+
+TEST(PolicyTest, PreferenceBandsOrdered) {
+  const PreferenceBands bands;
+  EXPECT_GT(bands.self, bands.customer);
+  EXPECT_GT(bands.customer, bands.peer);
+  EXPECT_GT(bands.peer, bands.provider);
+  EXPECT_EQ(bands.for_relationship(Relationship::kCustomer), bands.customer);
+  EXPECT_EQ(bands.for_relationship(Relationship::kPeer), bands.peer);
+  EXPECT_EQ(bands.for_relationship(Relationship::kProvider), bands.provider);
+}
+
+TEST(PolicyTest, ValleyFreeExportMatrix) {
+  using R = Relationship;
+  // Routes from customers (or self) go everywhere.
+  for (const auto to : {R::kCustomer, R::kPeer, R::kProvider}) {
+    EXPECT_TRUE(may_export(R::kCustomer, to, false));
+    EXPECT_TRUE(may_export(R::kProvider, to, true));  // self flag dominates
+  }
+  // Routes from peers/providers go only to customers.
+  for (const auto from : {R::kPeer, R::kProvider}) {
+    EXPECT_TRUE(may_export(from, R::kCustomer, false));
+    EXPECT_FALSE(may_export(from, R::kPeer, false));
+    EXPECT_FALSE(may_export(from, R::kProvider, false));
+  }
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(GeneratorTest, SizesAndTiers) {
+  GeneratorParams params;
+  params.tier1_count = 5;
+  params.tier2_count = 20;
+  params.stub_count = 50;
+  Rng rng(1);
+  const AsGraph g = generate_topology(params, rng);
+  EXPECT_EQ(g.as_count(), 75u);
+  EXPECT_EQ(g.ases_in_tier(Tier::kTier1).size(), 5u);
+  EXPECT_EQ(g.ases_in_tier(Tier::kTier2).size(), 20u);
+  EXPECT_EQ(g.ases_in_tier(Tier::kStub).size(), 50u);
+}
+
+TEST(GeneratorTest, Tier1FullMesh) {
+  GeneratorParams params;
+  params.tier1_count = 6;
+  params.tier2_count = 0;
+  params.stub_count = 0;
+  Rng rng(2);
+  const AsGraph g = generate_topology(params, rng);
+  const auto tier1s = g.ases_in_tier(Tier::kTier1);
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      EXPECT_EQ(g.relationship(tier1s[i], tier1s[j]), Relationship::kPeer);
+    }
+  }
+  EXPECT_EQ(g.link_count(), 15u);  // 6 choose 2
+}
+
+TEST(GeneratorTest, EveryNonTier1HasAProvider) {
+  GeneratorParams params;
+  Rng rng(3);
+  const AsGraph g = generate_topology(params, rng);
+  for (const auto asn : g.all_ases()) {
+    if (g.tier(asn) == Tier::kTier1) continue;
+    EXPECT_FALSE(g.neighbors_with(asn, Relationship::kProvider).empty())
+        << "AS" << asn << " has no provider";
+  }
+}
+
+TEST(GeneratorTest, AllConnectedToTier1) {
+  GeneratorParams params;
+  params.tier2_count = 40;
+  params.stub_count = 200;
+  Rng rng(4);
+  const AsGraph g = generate_topology(params, rng);
+  EXPECT_TRUE(all_connected_to_tier1(g));
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorParams params;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const AsGraph a = generate_topology(params, rng_a);
+  const AsGraph b = generate_topology(params, rng_b);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorParams params;
+  Rng rng_a(1);
+  Rng rng_b(2);
+  EXPECT_NE(generate_topology(params, rng_a).serialize(),
+            generate_topology(params, rng_b).serialize());
+}
+
+TEST(GeneratorTest, StubsHaveNoCustomers) {
+  GeneratorParams params;
+  Rng rng(5);
+  const AsGraph g = generate_topology(params, rng);
+  for (const auto asn : g.ases_in_tier(Tier::kStub)) {
+    EXPECT_TRUE(g.neighbors_with(asn, Relationship::kCustomer).empty());
+  }
+}
+
+TEST(GeneratorTest, MultihomingWithinBounds) {
+  GeneratorParams params;
+  params.min_providers = 2;
+  params.max_providers = 3;
+  params.tier2_count = 30;
+  params.stub_count = 100;
+  Rng rng(6);
+  const AsGraph g = generate_topology(params, rng);
+  for (const auto asn : g.ases_in_tier(Tier::kStub)) {
+    const auto providers = g.neighbors_with(asn, Relationship::kProvider).size();
+    EXPECT_GE(providers, 2u);
+    EXPECT_LE(providers, 3u);
+  }
+}
+
+TEST(GeneratorTest, FirstAsnOffsetRespected) {
+  GeneratorParams params;
+  params.first_asn = 1000;
+  params.tier1_count = 2;
+  params.tier2_count = 3;
+  params.stub_count = 4;
+  Rng rng(7);
+  const AsGraph g = generate_topology(params, rng);
+  for (const auto asn : g.all_ases()) {
+    EXPECT_GE(asn, 1000u);
+    EXPECT_LT(asn, 1009u);
+  }
+}
+
+TEST(GeneratorTest, RejectsBadParams) {
+  Rng rng(8);
+  GeneratorParams params;
+  params.tier1_count = 0;
+  EXPECT_THROW(generate_topology(params, rng), std::invalid_argument);
+  params = GeneratorParams{};
+  params.min_providers = 0;
+  EXPECT_THROW(generate_topology(params, rng), std::invalid_argument);
+  params = GeneratorParams{};
+  params.max_providers = 0;
+  EXPECT_THROW(generate_topology(params, rng), std::invalid_argument);
+}
+
+TEST(GeneratorTest, NoTier2FallsBackToTier1Providers) {
+  GeneratorParams params;
+  params.tier2_count = 0;
+  params.stub_count = 10;
+  Rng rng(9);
+  const AsGraph g = generate_topology(params, rng);
+  for (const auto asn : g.ases_in_tier(Tier::kStub)) {
+    for (const auto p : g.neighbors_with(asn, Relationship::kProvider)) {
+      EXPECT_EQ(g.tier(p), Tier::kTier1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace artemis::topo

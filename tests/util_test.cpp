@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <set>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace artemis {
+namespace {
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimDurationTest, NamedConstructorsAgree) {
+  EXPECT_EQ(SimDuration::seconds(1).as_micros(), 1'000'000);
+  EXPECT_EQ(SimDuration::millis(1500).as_micros(), 1'500'000);
+  EXPECT_EQ(SimDuration::minutes(2).as_micros(), 120'000'000);
+  EXPECT_EQ(SimDuration::hours(1).as_micros(), 3'600'000'000LL);
+  EXPECT_EQ(SimDuration::micros(7).as_micros(), 7);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const auto a = SimDuration::seconds(10);
+  const auto b = SimDuration::seconds(4);
+  EXPECT_EQ((a + b).as_seconds(), 14.0);
+  EXPECT_EQ((a - b).as_seconds(), 6.0);
+  EXPECT_EQ((a * 0.5).as_seconds(), 5.0);
+  EXPECT_EQ((a / 2.0).as_seconds(), 5.0);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c.as_seconds(), 14.0);
+  c -= b;
+  EXPECT_EQ(c.as_seconds(), 10.0);
+}
+
+TEST(SimDurationTest, Comparisons) {
+  EXPECT_LT(SimDuration::seconds(1), SimDuration::seconds(2));
+  EXPECT_EQ(SimDuration::seconds(60), SimDuration::minutes(1));
+  EXPECT_GT(SimDuration::hours(1), SimDuration::minutes(59));
+}
+
+TEST(SimDurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(SimDuration::millis(250).to_string(), "250ms");
+  EXPECT_EQ(SimDuration::seconds(45.3).to_string(), "45.3s");
+  EXPECT_EQ(SimDuration::seconds(312).to_string(), "5m12s");
+  EXPECT_EQ(SimDuration::hours(2).to_string(), "2h00m");
+}
+
+TEST(SimTimeTest, OffsetAndDifference) {
+  const auto t0 = SimTime::zero();
+  const auto t1 = t0 + SimDuration::seconds(30);
+  EXPECT_EQ((t1 - t0).as_seconds(), 30.0);
+  EXPECT_EQ(t1.as_seconds(), 30.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTimeTest, NeverIsSentinel) {
+  EXPECT_TRUE(SimTime::never().is_never());
+  EXPECT_FALSE(SimTime::zero().is_never());
+  EXPECT_LT(SimTime::at_seconds(1e12), SimTime::never());
+  EXPECT_EQ(SimTime::never().to_string(), "never");
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng root(7);
+  Rng fork_a = root.fork("alpha");
+  Rng fork_a2 = root.fork("alpha");
+  Rng fork_b = root.fork("beta");
+  EXPECT_EQ(fork_a.next_u64(), fork_a2.next_u64());
+  Rng fork_a3 = root.fork("alpha");
+  EXPECT_NE(fork_a3.next_u64(), fork_b.next_u64());
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.uniform_u64(17), 17u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, UniformDurationWithinBounds) {
+  Rng rng(23);
+  const auto lo = SimDuration::seconds(1);
+  const auto hi = SimDuration::seconds(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = rng.uniform_duration(lo, hi);
+    ASSERT_GE(d, lo);
+    ASSERT_LE(d, hi);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled.data(), shuffled.size());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ------------------------------------------------------------------ Stats
+
+TEST(SummaryTest, EmptySummaryYieldsNan) {
+  Summary s;
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.percentile(50)));
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  s.add_all({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(SummaryTest, PercentileRejectsOutOfRange) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::out_of_range);
+  EXPECT_THROW(s.percentile(101), std::out_of_range);
+}
+
+TEST(SummaryTest, CdfAtCountsInclusive) {
+  Summary s;
+  s.add_all({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SummaryTest, CdfPointsMonotone) {
+  Summary s;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) s.add(rng.uniform(0, 100));
+  const auto points = s.cdf_points(20);
+  ASSERT_EQ(points.size(), 20u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(SummaryTest, AddAfterQueryResorts) {
+  Summary s;
+  s.add_all({5, 1});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ParseU64Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_u64("42"), 42u);
+}
+
+TEST(StringsTest, ParseU64Rejects) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64(" 1"));
+  EXPECT_FALSE(parse_u64("1x"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(StringsTest, ParseU32RespectsMax) {
+  EXPECT_EQ(parse_u32("255", 255), 255u);
+  EXPECT_FALSE(parse_u32("256", 255));
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ThresholdFilters) {
+  std::vector<std::string> captured;
+  auto previous = Logging::set_sink(
+      [&captured](LogLevel, const std::string& line) { captured.push_back(line); });
+  const LogLevel old_threshold = Logging::threshold();
+  Logging::set_threshold(LogLevel::kWarn);
+
+  ARTEMIS_LOG(kInfo, SimTime::zero(), "test") << "hidden";
+  ARTEMIS_LOG(kWarn, SimTime::zero(), "test") << "visible " << 42;
+
+  Logging::set_threshold(old_threshold);
+  Logging::set_sink(std::move(previous));
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("visible 42"), std::string::npos);
+  EXPECT_NE(captured[0].find("[test]"), std::string::npos);
+}
+
+TEST(LoggingTest, RecordCarriesSimTime) {
+  std::vector<std::string> captured;
+  auto previous = Logging::set_sink(
+      [&captured](LogLevel, const std::string& line) { captured.push_back(line); });
+  const LogLevel old_threshold = Logging::threshold();
+  Logging::set_threshold(LogLevel::kDebug);
+
+  ARTEMIS_LOG(kError, SimTime::at_seconds(1.5), "svc") << "boom";
+
+  Logging::set_threshold(old_threshold);
+  Logging::set_sink(std::move(previous));
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("t+1.500s"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace artemis

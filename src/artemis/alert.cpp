@@ -20,6 +20,8 @@ std::string HijackAlert::dedup_key() const {
   return key;
 }
 
+AlertKey HijackAlert::key() const { return AlertKey{type, observed_prefix, offender}; }
+
 std::string HijackAlert::to_string() const {
   std::string out = "ALERT[";
   out += core::to_string(type);

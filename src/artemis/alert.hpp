@@ -41,9 +41,33 @@ struct HijackAlert {
   /// When ARTEMIS raised the alert (= delivery time of the observation).
   SimTime detected_at;
 
-  /// Key identifying "the same hijack" across repeated observations.
+  /// Key identifying "the same hijack" across repeated observations
+  /// (display/JSON form; the detection hot path uses key()).
   std::string dedup_key() const;
+  /// The allocation-free POD form of dedup_key().
+  struct AlertKey key() const;
   std::string to_string() const;
+};
+
+/// POD identity of "the same hijack": what dedup_key() encodes, without
+/// materializing a string. Hashable, so the detection service can look up
+/// an already-seen observation with zero heap allocations.
+struct AlertKey {
+  HijackType type = HijackType::kExactOrigin;
+  net::Prefix observed_prefix;
+  bgp::Asn offender = bgp::kNoAsn;
+
+  bool operator==(const AlertKey&) const = default;
+};
+
+struct AlertKeyHash {
+  std::size_t operator()(const AlertKey& k) const noexcept {
+    std::size_t h = std::hash<net::Prefix>{}(k.observed_prefix);
+    h ^= static_cast<std::size_t>(k.offender) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    h ^= static_cast<std::size_t>(k.type) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
 };
 
 }  // namespace artemis::core

@@ -13,7 +13,7 @@ void DetectionService::on_alert(AlertHandler handler) {
   handlers_.push_back(std::move(handler));
 }
 
-std::optional<HijackAlert> DetectionService::classify(
+std::optional<DetectionService::Classification> DetectionService::classify(
     const feeds::Observation& obs) const {
   if (obs.type == feeds::ObservationType::kWithdrawal) return std::nullopt;
   const OwnedPrefix* owned = config_.match(obs.prefix);
@@ -22,17 +22,8 @@ std::optional<HijackAlert> DetectionService::classify(
     if (options_.roa_table != nullptr &&
         options_.roa_table->validate(obs.prefix, obs.origin_as()) ==
             rpki::Validity::kInvalid) {
-      HijackAlert alert;
-      alert.type = HijackType::kRpkiInvalid;
-      alert.owned_prefix = obs.prefix;  // best effort: no owned match
-      alert.observed_prefix = obs.prefix;
-      alert.offender = obs.origin_as();
-      alert.observed_path = obs.attrs.as_path;
-      alert.vantage = obs.vantage;
-      alert.source = obs.source;
-      alert.event_time = obs.event_time;
-      alert.detected_at = obs.delivered_at;
-      return alert;
+      // Best effort: no owned match, report the observed prefix as owned.
+      return Classification{HijackType::kRpkiInvalid, obs.prefix, obs.origin_as()};
     }
     return std::nullopt;
   }
@@ -40,20 +31,9 @@ std::optional<HijackAlert> DetectionService::classify(
   const bgp::Asn origin = obs.origin_as();
   const bool origin_ok = owned->legitimate_origins.contains(origin);
 
-  HijackAlert alert;
-  alert.owned_prefix = owned->prefix;
-  alert.observed_prefix = obs.prefix;
-  alert.observed_path = obs.attrs.as_path;
-  alert.vantage = obs.vantage;
-  alert.source = obs.source;
-  alert.event_time = obs.event_time;
-  alert.detected_at = obs.delivered_at;
-
   if (obs.prefix == owned->prefix) {
     if (!origin_ok) {
-      alert.type = HijackType::kExactOrigin;
-      alert.offender = origin;
-      return alert;
+      return Classification{HijackType::kExactOrigin, owned->prefix, origin};
     }
   } else if (owned->prefix.covers(obs.prefix)) {
     // A more-specific announcement inside our space. Even with our origin
@@ -61,15 +41,11 @@ std::optional<HijackAlert> DetectionService::classify(
     // announced ourselves (mitigation sub-prefixes!) must not self-alert:
     // those carry a legitimate origin.
     if (options_.detect_subprefix && !origin_ok) {
-      alert.type = HijackType::kSubPrefix;
-      alert.offender = origin;
-      return alert;
+      return Classification{HijackType::kSubPrefix, owned->prefix, origin};
     }
   } else if (obs.prefix.covers(owned->prefix)) {
     if (options_.detect_superprefix && !origin_ok) {
-      alert.type = HijackType::kSuperPrefix;
-      alert.offender = origin;
-      return alert;
+      return Classification{HijackType::kSuperPrefix, owned->prefix, origin};
     }
   }
 
@@ -79,9 +55,7 @@ std::optional<HijackAlert> DetectionService::classify(
     const bgp::Asn adjacent = obs.attrs.as_path.origin_neighbor();
     if (adjacent != bgp::kNoAsn && !owned->legitimate_neighbors.contains(adjacent) &&
         !owned->legitimate_origins.contains(adjacent)) {
-      alert.type = HijackType::kFakeFirstHop;
-      alert.offender = adjacent;
-      return alert;
+      return Classification{HijackType::kFakeFirstHop, owned->prefix, adjacent};
     }
   }
   return std::nullopt;
@@ -89,30 +63,59 @@ std::optional<HijackAlert> DetectionService::classify(
 
 void DetectionService::process(const feeds::Observation& obs) {
   ++processed_;
-  auto alert = classify(obs);
-  if (!alert) return;
+  const auto classified = classify(obs);
+  if (!classified) return;
   ++matched_;
 
-  const std::string key = alert->dedup_key();
-  auto& record = records_[key];
+  // Steady state (already-seen observation): one hash find, one string
+  // hash for the source's first-seen slot — no heap allocations.
+  const AlertKey key{classified->type, obs.prefix, classified->offender};
+  const auto [it, fresh] = records_.try_emplace(key);
+  HijackRecord& record = it->second;
   ++record.observations;
   record.first_seen_by_source.try_emplace(obs.source, obs.delivered_at);
+  if (!fresh) return;
 
-  if (record.observations == 1) {
-    alerts_.push_back(*alert);
-    for (const auto& handler : handlers_) handler(*alert);
-  }
+  // First observation of this hijack: materialize the full alert.
+  HijackAlert alert;
+  alert.type = classified->type;
+  alert.owned_prefix = classified->owned_prefix;
+  alert.observed_prefix = obs.prefix;
+  alert.offender = classified->offender;
+  alert.observed_path = obs.attrs.as_path;
+  alert.vantage = obs.vantage;
+  alert.source = obs.source;
+  alert.event_time = obs.event_time;
+  alert.detected_at = obs.delivered_at;
+  record.dedup = alert.dedup_key();
+  alerts_.push_back(alert);
+  for (const auto& handler : handlers_) handler(alert);
 }
 
-const std::map<std::string, SimTime>* DetectionService::first_seen_by_source(
-    const std::string& dedup_key) const {
-  const auto it = records_.find(dedup_key);
+const std::unordered_map<std::string, SimTime>* DetectionService::first_seen_by_source(
+    const AlertKey& key) const {
+  const auto it = records_.find(key);
   return it == records_.end() ? nullptr : &it->second.first_seen_by_source;
 }
 
-std::uint64_t DetectionService::observation_count(const std::string& dedup_key) const {
-  const auto it = records_.find(dedup_key);
+const std::unordered_map<std::string, SimTime>* DetectionService::first_seen_by_source(
+    const std::string& dedup_key) const {
+  for (const auto& [key, record] : records_) {
+    if (record.dedup == dedup_key) return &record.first_seen_by_source;
+  }
+  return nullptr;
+}
+
+std::uint64_t DetectionService::observation_count(const AlertKey& key) const {
+  const auto it = records_.find(key);
   return it == records_.end() ? 0 : it->second.observations;
+}
+
+std::uint64_t DetectionService::observation_count(const std::string& dedup_key) const {
+  for (const auto& [key, record] : records_) {
+    if (record.dedup == dedup_key) return record.observations;
+  }
+  return 0;
 }
 
 }  // namespace artemis::core

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,31 +60,45 @@ class DetectionService {
   /// All alerts raised so far (deduplicated).
   const std::vector<HijackAlert>& alerts() const { return alerts_; }
 
-  /// First time each source delivered an observation matching `key`
-  /// (a HijackAlert::dedup_key()). Used for per-source delay reporting.
-  const std::map<std::string, SimTime>* first_seen_by_source(
+  /// First time each source delivered an observation matching `key`.
+  /// Used for per-source delay reporting. The AlertKey overload is a hash
+  /// lookup; the string overload (a HijackAlert::dedup_key()) scans and
+  /// is for display/tooling call sites only.
+  const std::unordered_map<std::string, SimTime>* first_seen_by_source(
+      const AlertKey& key) const;
+  const std::unordered_map<std::string, SimTime>* first_seen_by_source(
       const std::string& dedup_key) const;
 
   /// Number of matching observations per deduplicated alert.
+  std::uint64_t observation_count(const AlertKey& key) const;
   std::uint64_t observation_count(const std::string& dedup_key) const;
 
   std::uint64_t observations_processed() const { return processed_; }
   std::uint64_t observations_matched() const { return matched_; }
 
  private:
+  /// A classified violation, POD so the steady-state path never builds a
+  /// full HijackAlert (whose path/source members heap-allocate).
+  struct Classification {
+    HijackType type = HijackType::kExactOrigin;
+    net::Prefix owned_prefix;
+    bgp::Asn offender = bgp::kNoAsn;
+  };
+
   /// Classifies an observation against config; nullopt if legitimate or
   /// unrelated to owned space.
-  std::optional<HijackAlert> classify(const feeds::Observation& obs) const;
+  std::optional<Classification> classify(const feeds::Observation& obs) const;
 
   const Config& config_;
   DetectionOptions options_;
   std::vector<AlertHandler> handlers_;
   std::vector<HijackAlert> alerts_;
   struct HijackRecord {
-    std::map<std::string, SimTime> first_seen_by_source;
+    std::unordered_map<std::string, SimTime> first_seen_by_source;
     std::uint64_t observations = 0;
+    std::string dedup;  ///< display key, materialized once per unique alert
   };
-  std::unordered_map<std::string, HijackRecord> records_;
+  std::unordered_map<AlertKey, HijackRecord, AlertKeyHash> records_;
   std::uint64_t processed_ = 0;
   std::uint64_t matched_ = 0;
 };

@@ -313,9 +313,9 @@ ExperimentResult HijackExperiment::run() {
     const auto& first = alerts.front();
     result.detected_at = first.detected_at;
     result.detection_source = first.source;
-    if (const auto* by_source =
-            app_->detection().first_seen_by_source(first.dedup_key())) {
-      result.detection_by_source = *by_source;
+    if (const auto* by_source = app_->detection().first_seen_by_source(first.key())) {
+      // The result keeps a std::map so reports and JSON iterate sorted.
+      result.detection_by_source.insert(by_source->begin(), by_source->end());
     }
   }
   const auto& mitigations = app_->mitigation().records();

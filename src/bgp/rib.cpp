@@ -1,5 +1,6 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace artemis::bgp {
@@ -16,73 +17,119 @@ bool better_route(const Route& a, const Route& b) {
 
 void LocRib::Entry::recompute_best() {
   assert(!candidates.empty());
-  const Route* chosen = nullptr;
-  for (const auto& [from, route] : candidates) {
-    if (chosen == nullptr || better_route(route, *chosen)) chosen = &route;
+  std::size_t chosen = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (better_route(candidates[i], candidates[chosen])) chosen = i;
   }
-  best = *chosen;
+  best_idx = chosen;
+}
+
+std::size_t LocRib::Entry::find_candidate(Asn from) const {
+  std::size_t i = 0;
+  while (i < candidates.size() && candidates[i].learned_from != from) ++i;
+  return i;
 }
 
 std::optional<BestRouteChange> LocRib::announce(const Route& route) {
   Entry* entry = table_.find(route.prefix);
   if (entry == nullptr) {
     Entry fresh;
-    fresh.candidates.emplace(route.learned_from, route);
-    fresh.best = route;
+    fresh.candidates.push_back(route);
+    fresh.best_idx = 0;
     table_.insert(route.prefix, std::move(fresh));
     return BestRouteChange{route.prefix, std::nullopt, route};
   }
-  const Route old_best = entry->best;
-  entry->candidates[route.learned_from] = route;
-  entry->recompute_best();
-  if (entry->best == old_best) return std::nullopt;
-  return BestRouteChange{route.prefix, old_best, entry->best};
+
+  const std::size_t slot = entry->find_candidate(route.learned_from);
+  if (slot < entry->candidates.size()) {
+    // Attribute-identical refresh can never move best: done, zero copies.
+    // (operator== ignores installed_at, which RIB dumps export, so carry
+    // the refresh time over like the full overwrite used to.)
+    if (entry->candidates[slot] == route) {
+      entry->candidates[slot].installed_at = route.installed_at;
+      return std::nullopt;
+    }
+    const std::size_t old_best_idx = entry->best_idx;
+    // Overwriting the current best destroys the only copy of the old
+    // winner; save it just for the change report in that one case. A
+    // non-best slot leaves the old winner intact in place.
+    std::optional<Route> displaced;
+    if (slot == old_best_idx) displaced = std::move(entry->candidates[slot]);
+    entry->candidates[slot] = route;
+    entry->recompute_best();
+    const Route& old_best = displaced ? *displaced : entry->candidates[old_best_idx];
+    if (entry->best() == old_best) return std::nullopt;
+    return BestRouteChange{route.prefix, old_best, entry->best()};
+  }
+
+  // New neighbor: insert keeping ascending learned-from order, so
+  // enumeration matches the previous std::map-backed behavior.
+  const auto pos = std::lower_bound(
+      entry->candidates.begin(), entry->candidates.end(), route.learned_from,
+      [](const Route& r, Asn from) { return r.learned_from < from; });
+  const auto inserted = static_cast<std::size_t>(pos - entry->candidates.begin());
+  const std::size_t old_best_idx =
+      entry->best_idx + (inserted <= entry->best_idx ? 1 : 0);
+  entry->candidates.insert(pos, route);
+  entry->best_idx = old_best_idx;
+  if (!better_route(entry->candidates[inserted], entry->best())) {
+    return std::nullopt;
+  }
+  entry->best_idx = inserted;
+  return BestRouteChange{route.prefix, entry->candidates[old_best_idx], entry->best()};
 }
 
 std::optional<BestRouteChange> LocRib::withdraw(const net::Prefix& prefix, Asn from) {
   Entry* entry = table_.find(prefix);
   if (entry == nullptr) return std::nullopt;
-  const auto it = entry->candidates.find(from);
-  if (it == entry->candidates.end()) return std::nullopt;
-  const Route old_best = entry->best;
-  entry->candidates.erase(it);
+  const std::size_t slot = entry->find_candidate(from);
+  if (slot == entry->candidates.size()) return std::nullopt;
+
+  if (slot != entry->best_idx) {
+    // Removing a losing candidate never changes the best route.
+    entry->candidates.erase(entry->candidates.begin() +
+                            static_cast<std::ptrdiff_t>(slot));
+    if (slot < entry->best_idx) --entry->best_idx;
+    return std::nullopt;
+  }
+
+  Route old_best = std::move(entry->candidates[slot]);
+  entry->candidates.erase(entry->candidates.begin() +
+                          static_cast<std::ptrdiff_t>(slot));
   if (entry->candidates.empty()) {
     table_.erase(prefix);
-    return BestRouteChange{prefix, old_best, std::nullopt};
+    return BestRouteChange{prefix, std::move(old_best), std::nullopt};
   }
   entry->recompute_best();
-  if (entry->best == old_best) return std::nullopt;
-  return BestRouteChange{prefix, old_best, entry->best};
+  // The new winner is learned from a different neighbor, so it always
+  // compares unequal to the withdrawn best: report the change.
+  return BestRouteChange{prefix, std::move(old_best), entry->best()};
 }
 
 const Route* LocRib::best(const net::Prefix& prefix) const {
   const Entry* entry = table_.find(prefix);
-  return entry != nullptr ? &entry->best : nullptr;
+  return entry != nullptr ? &entry->best() : nullptr;
 }
 
 std::vector<Route> LocRib::candidates(const net::Prefix& prefix) const {
-  std::vector<Route> out;
   const Entry* entry = table_.find(prefix);
-  if (entry != nullptr) {
-    out.reserve(entry->candidates.size());
-    for (const auto& [from, route] : entry->candidates) out.push_back(route);
-  }
-  return out;
+  return entry != nullptr ? entry->candidates : std::vector<Route>{};
 }
 
 std::optional<Route> LocRib::lookup(const net::IpAddress& addr) const {
   const auto hit = table_.lookup(addr);
   if (!hit) return std::nullopt;
-  return hit->second->best;
+  return hit->second->best();
 }
 
 void LocRib::visit_best(const std::function<void(const Route&)>& fn) const {
-  table_.visit_all([&fn](const net::Prefix&, const Entry& entry) { fn(entry.best); });
+  table_.visit_all([&fn](const net::Prefix&, const Entry& entry) { fn(entry.best()); });
 }
 
 void LocRib::visit_covered(const net::Prefix& p,
                            const std::function<void(const Route&)>& fn) const {
-  table_.visit_covered(p, [&fn](const net::Prefix&, const Entry& entry) { fn(entry.best); });
+  table_.visit_covered(
+      p, [&fn](const net::Prefix&, const Entry& entry) { fn(entry.best()); });
 }
 
 }  // namespace artemis::bgp

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -68,12 +67,21 @@ class LocRib {
 
  private:
   struct Entry {
-    /// Keyed by the neighbor the candidate was learned from; kNoAsn keys
-    /// self-originated routes. Invariant: non-empty while in the trie.
-    std::map<Asn, Route> candidates;
-    Route best;  ///< valid while the entry exists
+    /// Candidates in ascending learned-from ASN order (kNoAsn first keys
+    /// self-originated routes); a flat vector because real entries hold a
+    /// handful of neighbors, so linear probes beat node-based maps and
+    /// steady-state announces touch no heap. Invariant: non-empty while
+    /// the entry is in the trie.
+    std::vector<Route> candidates;
+    /// Index of the decision-process winner in `candidates` — kept as an
+    /// index so recomputation never copies a Route.
+    std::size_t best_idx = 0;
 
+    const Route& best() const { return candidates[best_idx]; }
+    /// Scans candidates and updates best_idx (no copies).
     void recompute_best();
+    /// Index of the candidate learned from `from`, or candidates.size().
+    std::size_t find_candidate(Asn from) const;
   };
 
   net::PrefixTrie<Entry> table_;

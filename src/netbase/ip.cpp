@@ -40,59 +40,6 @@ std::uint32_t IpAddress::v4_value() const {
          (static_cast<std::uint32_t>(bytes_[2]) << 8) | static_cast<std::uint32_t>(bytes_[3]);
 }
 
-bool IpAddress::bit(int i) const {
-  const auto byte = static_cast<std::size_t>(i / 8);
-  const int shift = 7 - (i % 8);
-  return ((bytes_[byte] >> shift) & 1U) != 0;
-}
-
-IpAddress IpAddress::with_bit(int i, bool value) const {
-  IpAddress out = *this;
-  const auto byte = static_cast<std::size_t>(i / 8);
-  const auto mask = static_cast<std::uint8_t>(1U << (7 - (i % 8)));
-  if (value) {
-    out.bytes_[byte] |= mask;
-  } else {
-    out.bytes_[byte] &= static_cast<std::uint8_t>(~mask);
-  }
-  return out;
-}
-
-IpAddress IpAddress::masked(int prefix_len) const {
-  IpAddress out = *this;
-  const int total_bytes = bits() / 8;
-  const int full_bytes = prefix_len / 8;  // bytes kept intact
-  const int partial_bits = prefix_len % 8;
-  int byte = full_bytes;
-  if (partial_bits != 0 && byte < total_bytes) {
-    const auto mask = static_cast<std::uint8_t>(0xFF << (8 - partial_bits));
-    out.bytes_[static_cast<std::size_t>(byte)] &= mask;
-    ++byte;
-  }
-  for (; byte < total_bytes; ++byte) {
-    out.bytes_[static_cast<std::size_t>(byte)] = 0;
-  }
-  return out;
-}
-
-int IpAddress::common_prefix_len(const IpAddress& other) const {
-  if (family_ != other.family_) return 0;
-  const int total = bits();
-  for (int i = 0; i < total / 8; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const std::uint8_t diff = bytes_[idx] ^ other.bytes_[idx];
-    if (diff != 0) {
-      int lead = 0;
-      for (int b = 7; b >= 0; --b) {
-        if ((diff >> b) & 1U) break;
-        ++lead;
-      }
-      return i * 8 + lead;
-    }
-  }
-  return total;
-}
-
 namespace {
 
 std::optional<IpAddress> parse_v4(std::string_view text) {

@@ -6,11 +6,13 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace artemis::net {
 
@@ -49,24 +51,102 @@ class IpAddress {
   const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
 
   /// The i-th address bit, MSB-first (bit 0 is the top bit). i < bits().
-  bool bit(int i) const;
+  /// Inline: called per bit level on the trie/RIB hot paths.
+  bool bit(int i) const {
+    const auto byte = static_cast<std::size_t>(i / 8);
+    const int shift = 7 - (i % 8);
+    return ((bytes_[byte] >> shift) & 1U) != 0;
+  }
 
   /// Returns a copy with the i-th bit set/cleared.
-  IpAddress with_bit(int i, bool value) const;
+  IpAddress with_bit(int i, bool value) const {
+    IpAddress out = *this;
+    const auto byte = static_cast<std::size_t>(i / 8);
+    const auto mask = static_cast<std::uint8_t>(1U << (7 - (i % 8)));
+    if (value) {
+      out.bytes_[byte] |= mask;
+    } else {
+      out.bytes_[byte] &= static_cast<std::uint8_t>(~mask);
+    }
+    return out;
+  }
 
   /// Returns a copy with all bits below `prefix_len` kept and the rest
   /// cleared — i.e. the network address for that prefix length.
-  IpAddress masked(int prefix_len) const;
+  IpAddress masked(int prefix_len) const {
+    auto [hi, lo] = words();
+    if (prefix_len <= 0) {
+      hi = 0;
+      lo = 0;
+    } else if (prefix_len < 64) {
+      hi &= ~0ULL << (64 - prefix_len);
+      lo = 0;
+    } else if (prefix_len == 64) {
+      lo = 0;
+    } else if (prefix_len < 128) {
+      lo &= ~0ULL << (128 - prefix_len);
+    }
+    return from_words(family_, hi, lo);
+  }
+
+  /// The address as two MSB-first 64-bit words: bit i of the address is
+  /// bit (63 - i%64) of words[i/64]. IPv4 occupies the top 32 bits of
+  /// .first; everything else is zero. This is the trie's key form: whole
+  /// prefixes compare with two XORs + countl_zero instead of per-bit calls.
+  std::pair<std::uint64_t, std::uint64_t> words() const {
+    return {load_be64(0), load_be64(8)};
+  }
+
+  /// Rebuilds an address from the words() form.
+  static IpAddress from_words(IpFamily family, std::uint64_t hi, std::uint64_t lo) {
+    IpAddress a;
+    a.family_ = family;
+    a.store_be64(0, hi);
+    a.store_be64(8, lo);
+    return a;
+  }
 
   /// Length (in bits) of the longest common prefix with `other`.
   /// Addresses of different families share no prefix (returns 0).
-  int common_prefix_len(const IpAddress& other) const;
+  int common_prefix_len(const IpAddress& other) const {
+    if (family_ != other.family_) return 0;
+    const auto [a_hi, a_lo] = words();
+    const auto [b_hi, b_lo] = other.words();
+    int common;
+    const std::uint64_t xh = a_hi ^ b_hi;
+    if (xh != 0) {
+      common = std::countl_zero(xh);
+    } else {
+      const std::uint64_t xl = a_lo ^ b_lo;
+      common = xl != 0 ? 64 + std::countl_zero(xl) : 128;
+    }
+    const int total = bits();
+    return common < total ? common : total;
+  }
 
   std::string to_string() const;
 
   auto operator<=>(const IpAddress&) const = default;
 
  private:
+  std::uint64_t load_be64(int offset) const {
+    // memcpy + byteswap compiles to a single bswap load; the equivalent
+    // byte-shift loop does not (checked on GCC 12).
+    std::uint64_t w;
+    __builtin_memcpy(&w, bytes_.data() + offset, 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      w = __builtin_bswap64(w);
+    }
+    return w;
+  }
+
+  void store_be64(int offset, std::uint64_t w) {
+    if constexpr (std::endian::native == std::endian::little) {
+      w = __builtin_bswap64(w);
+    }
+    __builtin_memcpy(bytes_.data() + offset, &w, 8);
+  }
+
   IpFamily family_ = IpFamily::kIpv4;
   std::array<std::uint8_t, 16> bytes_{};  // big-endian, zero padded
 };

@@ -35,6 +35,16 @@ class Prefix {
   /// Parse-or-throw convenience for literals in tests and examples.
   static Prefix must_parse(std::string_view text);
 
+  /// Builds a prefix from an address that is already in network form (all
+  /// bits beyond `length` zero), skipping re-canonicalization. The trie
+  /// uses this on its hot paths; callers must uphold the invariant.
+  static Prefix from_canonical(const IpAddress& addr, int length) {
+    Prefix p;
+    p.addr_ = addr;
+    p.length_ = length;
+    return p;
+  }
+
   const IpAddress& address() const { return addr_; }
   int length() const { return length_; }
   IpFamily family() const { return addr_.family(); }

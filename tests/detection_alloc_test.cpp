@@ -1,0 +1,129 @@
+// Asserts the detection hot path's zero-allocation invariant: once a
+// hijack has been seen (its record exists), re-processing matching or
+// non-matching observations performs no heap allocations at all.
+//
+// The assertion works by replacing the global operator new/delete with
+// counting wrappers, which is why this test lives in its own binary (see
+// CMakeLists.txt): the counter must not be perturbed by unrelated suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "artemis/detection.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace artemis::core {
+namespace {
+
+feeds::Observation make_obs(std::string_view prefix, std::vector<bgp::Asn> path,
+                            std::string source, double at_seconds) {
+  feeds::Observation obs;
+  obs.type = feeds::ObservationType::kAnnouncement;
+  obs.source = std::move(source);
+  obs.vantage = 9;
+  obs.prefix = net::Prefix::must_parse(prefix);
+  obs.attrs.as_path = bgp::AsPath(std::move(path));
+  obs.event_time = SimTime::at_seconds(at_seconds - 5);
+  obs.delivered_at = SimTime::at_seconds(at_seconds);
+  return obs;
+}
+
+TEST(DetectionAllocTest, SteadyStateProcessIsAllocationFree) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+
+  // One observation per flavor the steady state must absorb for free:
+  // an already-alerted hijack (exact and sub-prefix), a legitimate
+  // announcement, and an unrelated prefix.
+  const auto hijack = make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100);
+  const auto subhijack = make_obs("10.0.1.0/24", {9, 666}, "ris-live", 101);
+  const auto legit = make_obs("10.0.0.0/23", {9, 100, 65001}, "ris-live", 102);
+  const auto unrelated = make_obs("203.0.113.0/24", {9, 666}, "ris-live", 103);
+
+  // Prime: first sightings may allocate (records, alert copies, keys).
+  detector.process(hijack);
+  detector.process(subhijack);
+  detector.process(legit);
+  detector.process(unrelated);
+  ASSERT_EQ(detector.alerts().size(), 2u);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    detector.process(hijack);
+    detector.process(subhijack);
+    detector.process(legit);
+    detector.process(unrelated);
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state DetectionService::process allocated";
+
+  // Dedup bookkeeping kept counting while staying allocation-free.
+  EXPECT_EQ(detector.observation_count(detector.alerts()[0].key()), 10001u);
+  EXPECT_EQ(detector.alerts().size(), 2u);
+}
+
+TEST(DetectionAllocTest, NewSourceAllocatesOnlyOnFirstSighting) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+
+  const auto from_a = make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100);
+  const auto from_b = make_obs("10.0.0.0/23", {8, 666}, "bgpmon", 104);
+  detector.process(from_a);
+  detector.process(from_b);  // new source: records its first-seen slot
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  detector.process(from_b);
+  detector.process(from_a);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+
+  const auto* by_source = detector.first_seen_by_source(detector.alerts()[0].key());
+  ASSERT_NE(by_source, nullptr);
+  EXPECT_EQ(by_source->at("ris-live"), SimTime::at_seconds(100));
+  EXPECT_EQ(by_source->at("bgpmon"), SimTime::at_seconds(104));
+}
+
+}  // namespace
+}  // namespace artemis::core

@@ -1,0 +1,269 @@
+// Differential tests: the arena-backed path-compressed PrefixTrie against
+// a naive std::map<Prefix, int> oracle over random operation sequences
+// (both address families, with erasures, across the stride-table
+// activation threshold), plus targeted regression tests for skip-label
+// edge cases (sibling splits at bit 0, full-length keys, splits across
+// the 64-bit key-word boundary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "netbase/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace artemis::net {
+namespace {
+
+Prefix P(std::string_view s) { return Prefix::must_parse(s); }
+IpAddress A(std::string_view s) { return IpAddress::parse(s).value(); }
+
+Prefix random_v4(Rng& rng, int min_len = 0, int max_len = 32) {
+  return Prefix(IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())),
+                static_cast<int>(rng.uniform_int(min_len, max_len)));
+}
+
+Prefix random_v6(Rng& rng, int min_len = 0, int max_len = 128) {
+  return Prefix(IpAddress::v6(rng.next_u64(), rng.next_u64()),
+                static_cast<int>(rng.uniform_int(min_len, max_len)));
+}
+
+/// Longest-prefix match by linear scan over the oracle.
+const std::pair<const Prefix, int>* oracle_lpm(const std::map<Prefix, int>& oracle,
+                                               const IpAddress& addr) {
+  const std::pair<const Prefix, int>* best = nullptr;
+  for (const auto& entry : oracle) {
+    if (!entry.first.contains(addr)) continue;
+    if (best == nullptr || entry.first.length() > best->first.length()) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+class TrieOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieOracleTest, RandomOpsMatchMapOracle) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> oracle;
+  std::vector<Prefix> inserted;  // with repeats; used to pick erase targets
+
+  // Enough v4 inserts that the stride tables activate mid-sequence, so
+  // the accelerated descent paths (and their maintenance on erase) are
+  // exercised against the oracle too.
+  const int kOps = 4000;
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform01();
+    const bool v6 = rng.chance(0.25);
+    if (dice < 0.70) {
+      const Prefix p = v6 ? random_v6(rng, 0, 128) : random_v4(rng, 0, 32);
+      const int value = static_cast<int>(rng.uniform_int(0, 1 << 20));
+      const bool fresh_trie = trie.insert(p, value);
+      const bool fresh_oracle = oracle.insert_or_assign(p, value).second;
+      ASSERT_EQ(fresh_trie, fresh_oracle) << p.to_string();
+      inserted.push_back(p);
+    } else if (dice < 0.85 && !inserted.empty()) {
+      const Prefix p = inserted[rng.uniform_u64(inserted.size())];
+      ASSERT_EQ(trie.erase(p), oracle.erase(p) > 0) << p.to_string();
+    } else {
+      // Probe a prefix that may or may not be present.
+      const Prefix p = v6 ? random_v6(rng, 0, 32) : random_v4(rng, 0, 16);
+      const auto it = oracle.find(p);
+      const int* got = trie.find(p);
+      if (it == oracle.end()) {
+        ASSERT_EQ(got, nullptr) << p.to_string();
+      } else {
+        ASSERT_NE(got, nullptr) << p.to_string();
+        ASSERT_EQ(*got, it->second) << p.to_string();
+      }
+    }
+    ASSERT_EQ(trie.size(), oracle.size());
+  }
+
+  // Longest-prefix matches agree for random addresses of both families.
+  for (int i = 0; i < 2000; ++i) {
+    const IpAddress addr = rng.chance(0.5)
+                               ? IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64()))
+                               : IpAddress::v6(rng.next_u64(), rng.next_u64());
+    const auto got = trie.lookup(addr);
+    const auto* want = oracle_lpm(oracle, addr);
+    if (want == nullptr) {
+      ASSERT_FALSE(got.has_value()) << addr.to_string();
+    } else {
+      ASSERT_TRUE(got.has_value()) << addr.to_string();
+      EXPECT_EQ(got->first, want->first) << addr.to_string();
+      EXPECT_EQ(*got->second, want->second) << addr.to_string();
+    }
+  }
+
+  // lookup_covering and visit_covering agree with a filtered oracle scan.
+  for (int i = 0; i < 300; ++i) {
+    const Prefix scope = rng.chance(0.5) ? random_v4(rng, 0, 28) : random_v6(rng, 0, 64);
+    std::vector<Prefix> got;
+    trie.visit_covering(scope,
+                        [&](const Prefix& p, const int&) { got.push_back(p); });
+    std::vector<Prefix> want;
+    for (const auto& [p, v] : oracle) {
+      if (p.covers(scope)) want.push_back(p);
+    }
+    // visit_covering reports root-to-leaf, i.e. ascending length.
+    std::sort(want.begin(), want.end(), [](const Prefix& a, const Prefix& b) {
+      return a.length() < b.length();
+    });
+    EXPECT_EQ(got, want) << scope.to_string();
+
+    const auto covering = trie.lookup_covering(scope);
+    if (want.empty()) {
+      EXPECT_FALSE(covering.has_value()) << scope.to_string();
+    } else {
+      ASSERT_TRUE(covering.has_value()) << scope.to_string();
+      EXPECT_EQ(covering->first, want.back()) << scope.to_string();
+    }
+  }
+
+  // visit_covered agrees with a filtered oracle scan.
+  for (int i = 0; i < 300; ++i) {
+    const Prefix scope = rng.chance(0.5) ? random_v4(rng, 0, 24) : random_v6(rng, 0, 48);
+    std::vector<Prefix> got;
+    trie.visit_covered(scope,
+                       [&](const Prefix& p, const int&) { got.push_back(p); });
+    std::vector<Prefix> want;
+    for (const auto& [p, v] : oracle) {
+      if (scope.covers(p)) want.push_back(p);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << scope.to_string();
+  }
+
+  // visit_all enumerates exactly the oracle's entries.
+  std::size_t count = 0;
+  trie.visit_all([&](const Prefix& p, const int& v) {
+    const auto it = oracle.find(p);
+    ASSERT_NE(it, oracle.end()) << p.to_string();
+    EXPECT_EQ(v, it->second);
+    ++count;
+  });
+  EXPECT_EQ(count, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieOracleTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ------------------------------------------------- skip-label edge cases
+
+TEST(TrieSkipLabelTest, SiblingSplitAtBitZero) {
+  PrefixTrie<int> trie;
+  // First insert hangs a path-compressed leaf straight off the root; the
+  // second diverges at bit 0, forcing a split at the very top.
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(P("192.168.0.0/16"), 2));
+  EXPECT_EQ(*trie.lookup(A("10.1.2.3"))->second, 1);
+  EXPECT_EQ(*trie.lookup(A("192.168.9.9"))->second, 2);
+  EXPECT_FALSE(trie.lookup(A("127.0.0.1")).has_value());
+
+  // Same at /1 granularity: the two halves of the address space.
+  PrefixTrie<int> halves;
+  EXPECT_TRUE(halves.insert(P("0.0.0.0/1"), 10));
+  EXPECT_TRUE(halves.insert(P("128.0.0.0/1"), 11));
+  EXPECT_EQ(*halves.lookup(A("1.2.3.4"))->second, 10);
+  EXPECT_EQ(*halves.lookup(A("200.2.3.4"))->second, 11);
+  EXPECT_EQ(halves.size(), 2u);
+}
+
+TEST(TrieSkipLabelTest, FullLengthHostKeys) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(P("10.0.0.1/32"), 1));
+  EXPECT_TRUE(trie.insert(P("10.0.0.2/32"), 2));  // diverges at bit 30
+  EXPECT_EQ(*trie.lookup(A("10.0.0.1"))->second, 1);
+  EXPECT_EQ(*trie.lookup(A("10.0.0.2"))->second, 2);
+  EXPECT_FALSE(trie.lookup(A("10.0.0.3")).has_value());
+
+  EXPECT_TRUE(trie.insert(P("2001:db8::1/128"), 3));
+  EXPECT_TRUE(trie.insert(P("2001:db8::2/128"), 4));  // diverges at bit 126
+  EXPECT_EQ(*trie.lookup(A("2001:db8::1"))->second, 3);
+  EXPECT_EQ(*trie.lookup(A("2001:db8::2"))->second, 4);
+  EXPECT_FALSE(trie.lookup(A("2001:db8::3")).has_value());
+}
+
+TEST(TrieSkipLabelTest, AncestorSpliceOntoCompressedEdge) {
+  PrefixTrie<int> trie;
+  // The /24 leaf hangs on a long skip-label edge; inserting the /8
+  // afterwards must splice a node into the middle of that edge.
+  trie.insert(P("10.20.30.0/24"), 24);
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/8"), 8));
+  EXPECT_EQ(*trie.lookup(A("10.20.30.5"))->second, 24);
+  EXPECT_EQ(*trie.lookup(A("10.99.99.99"))->second, 8);
+  // And a divergence below the splice point still resolves correctly.
+  EXPECT_TRUE(trie.insert(P("10.20.40.0/24"), 40));
+  EXPECT_EQ(*trie.lookup(A("10.20.40.1"))->second, 40);
+  EXPECT_EQ(*trie.lookup(A("10.20.30.1"))->second, 24);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(TrieSkipLabelTest, SplitAcrossWordBoundary) {
+  PrefixTrie<int> trie;
+  // Both keys share the first 68 bits; the divergence sits in the low
+  // 64-bit word of the key, exercising the two-word compare.
+  const auto base = P("2001:db8::/64");
+  trie.insert(base, 64);
+  EXPECT_TRUE(trie.insert(P("2001:db8:0:0:0800::/70"), 70));
+  EXPECT_TRUE(trie.insert(P("2001:db8:0:0:0c00::/70"), 71));  // diverges at bit 69
+  EXPECT_EQ(*trie.lookup(A("2001:db8::0800:0:0:1"))->second, 70);
+  EXPECT_EQ(*trie.lookup(A("2001:db8::0c00:0:0:1"))->second, 71);
+  EXPECT_EQ(*trie.lookup(A("2001:db8::1"))->second, 64);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(TrieSkipLabelTest, EraseKeepsCompressedStructureUsable) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/24"), 24);
+  trie.insert(P("10.0.0.0/30"), 30);
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/24")));
+  EXPECT_EQ(*trie.lookup(A("10.0.0.1"))->second, 30);
+  EXPECT_EQ(*trie.lookup(A("10.0.0.9"))->second, 8);  // /24 gone, falls to /8
+  // Reinsertion reuses the dead node.
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/24"), 240));
+  EXPECT_EQ(*trie.lookup(A("10.0.0.9"))->second, 240);
+}
+
+TEST(TrieSkipLabelTest, StrideTableActivationPreservesSemantics) {
+  // Push one trie across the table-activation threshold and spot-check
+  // lookups straddling the boundary, including erase maintenance after
+  // activation.
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> oracle;
+  Rng rng(7);
+  for (int i = 0; i < 1500; ++i) {
+    const Prefix p = random_v4(rng, 8, 28);
+    trie.insert(p, i);
+    oracle.insert_or_assign(p, i);
+  }
+  // Erase a sampled subset after the tables are live.
+  std::vector<Prefix> victims;
+  int k = 0;
+  for (const auto& [p, v] : oracle) {
+    if (++k % 7 == 0) victims.push_back(p);
+  }
+  for (const auto& p : victims) {
+    EXPECT_TRUE(trie.erase(p));
+    oracle.erase(p);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const IpAddress addr = IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64()));
+    const auto got = trie.lookup(addr);
+    const auto* want = oracle_lpm(oracle, addr);
+    if (want == nullptr) {
+      ASSERT_FALSE(got.has_value()) << addr.to_string();
+    } else {
+      ASSERT_TRUE(got.has_value()) << addr.to_string();
+      EXPECT_EQ(got->first, want->first) << addr.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace artemis::net

@@ -1,0 +1,229 @@
+// Pipeline throughput benchmarks (ROADMAP "Pipeline architecture").
+//
+// Measures the three tiers of the observation path on one realistic
+// workload (bursty merged-feed stream, 1-in-16 groups hijack-relevant):
+//   * BM_CallbackPath        — per-observation publish through the hub's
+//                              per-observation shim into process(): the
+//                              pre-batching architecture, kept as the
+//                              comparison baseline.
+//   * BM_BatchPath/<B>       — hub.publish_batch spans of B into
+//                              process_batch: the batch-first path. The
+//                              acceptance bar is ≥ 2x BM_CallbackPath
+//                              items/s at B ≥ 256.
+//   * BM_DetectionBatch/<B>  — process_batch alone (no hub), isolating
+//                              the detection-side amortization.
+//   * BM_ShardedInline/<N>   — inline hash dispatch across N shards.
+//   * BM_ShardedThreaded/<N> — SPSC rings + N workers; submit+flush per
+//                              iteration. Multi-shard scaling.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "artemis/detection.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "pipeline/sharded_detector.hpp"
+#include "rpki/roa.hpp"
+#include "util/rng.hpp"
+
+using namespace artemis;
+
+namespace {
+
+core::Config make_config() {
+  core::Config config;
+  core::OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  return config;
+}
+
+net::Prefix random_prefix(Rng& rng) {
+  return net::Prefix(net::IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())),
+                     static_cast<int>(rng.uniform_int(8, 24)));
+}
+
+/// The shared workload: 64k observations in bursts of 8 (a collector
+/// message / archive window repeats the same route), 1 in 16 bursts
+/// touching the owned prefix — the mix a deployed ARTEMIS sees.
+const std::vector<feeds::Observation>& workload() {
+  static const std::vector<feeds::Observation> stream = [] {
+    Rng rng(6);
+    std::vector<feeds::Observation> out;
+    constexpr int kBursts = 8192;
+    constexpr int kBurstLen = 8;
+    out.reserve(kBursts * kBurstLen);
+    for (int g = 0; g < kBursts; ++g) {
+      feeds::Observation obs;
+      obs.type = feeds::ObservationType::kAnnouncement;
+      obs.source = (g % 3 == 0) ? "ris-live" : (g % 3 == 1) ? "bgpmon" : "periscope";
+      obs.vantage = 9;
+      obs.prefix = (g % 16 == 0) ? net::Prefix::must_parse("10.0.0.0/23")
+                                 : random_prefix(rng);
+      obs.attrs.as_path = bgp::AsPath({9, 3356, (g % 16 == 0) ? 666u : 65001u});
+      obs.event_time = SimTime::at_seconds(g);
+      obs.delivered_at = SimTime::at_seconds(g + 5);
+      for (int i = 0; i < kBurstLen; ++i) out.push_back(obs);
+    }
+    return out;
+  }();
+  return stream;
+}
+
+void BM_CallbackPath(benchmark::State& state) {
+  const core::Config config = make_config();
+  core::DetectionService detector(config);
+  feeds::MonitorHub hub;
+  // The pre-pipeline wiring: a per-observation handler chain.
+  hub.subscribe([&detector](const feeds::Observation& obs) { detector.process(obs); });
+  const auto& stream = workload();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hub.publish(stream[i]);
+    i = (i + 1) & (stream.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackPath);
+
+void BM_BatchPath(benchmark::State& state) {
+  const core::Config config = make_config();
+  core::DetectionService detector(config);
+  feeds::MonitorHub hub;
+  detector.attach(hub);  // batch subscription
+  const auto& stream = workload();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(batch_size, stream.size() - i);
+    hub.publish_batch({stream.data() + i, n});
+    i += n;
+    if (i >= stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_BatchPath)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DetectionBatch(benchmark::State& state) {
+  const core::Config config = make_config();
+  core::DetectionService detector(config);
+  const auto& stream = workload();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(batch_size, stream.size() - i);
+    detector.process_batch({stream.data() + i, n});
+    i += n;
+    if (i >= stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_DetectionBatch)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ShardedInline(benchmark::State& state) {
+  const core::Config config = make_config();
+  pipeline::ShardedDetectorOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  pipeline::ShardedDetector detector(config, options);
+  const auto& stream = workload();
+  constexpr std::size_t kBatch = 1024;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(kBatch, stream.size() - i);
+    detector.submit_batch({stream.data() + i, n});
+    i += n;
+    if (i >= stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_ShardedInline)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ShardedThreaded(benchmark::State& state) {
+  const core::Config config = make_config();
+  pipeline::ShardedDetectorOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  options.threaded = true;
+  options.queue_capacity = 1024;
+  options.drain_batch = 128;
+  pipeline::ShardedDetector detector(config, options);
+  const auto& stream = workload();
+  constexpr std::size_t kChunk = 1024;
+  for (auto _ : state) {
+    // One iteration = the full 64k-observation workload, fanned out and
+    // fully drained (flush is the barrier the wall clock must include).
+    for (std::size_t i = 0; i < stream.size(); i += kChunk) {
+      detector.submit_batch({stream.data() + i, std::min(kChunk, stream.size() - i)});
+    }
+    detector.flush();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ShardedThreaded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// A dense ROA table so every out-of-owned-space announcement pays an
+/// RPKI origin validation (the realistic "heavy" per-observation cost —
+/// this is where sharding starts to pay: the handoff copy is fixed, the
+/// per-observation work now dwarfs it and parallelizes).
+const rpki::RoaTable& dense_roa_table() {
+  static const rpki::RoaTable table = [] {
+    Rng rng(7);
+    rpki::RoaTable t;
+    for (int i = 0; i < 100000; ++i) {
+      rpki::Roa roa;
+      roa.prefix = net::Prefix(
+          net::IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())),
+          static_cast<int>(rng.uniform_int(8, 20)));
+      roa.asn = 65001;  // authorizes the workload's legitimate origin
+      roa.max_length = 24;
+      t.add(roa);
+    }
+    return t;
+  }();
+  return table;
+}
+
+void BM_ShardedThreadedRpki(benchmark::State& state) {
+  const core::Config config = make_config();
+  pipeline::ShardedDetectorOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  options.threaded = true;
+  options.queue_capacity = 1024;
+  options.drain_batch = 128;
+  options.detection.roa_table = &dense_roa_table();
+  pipeline::ShardedDetector detector(config, options);
+  const auto& stream = workload();
+  constexpr std::size_t kChunk = 1024;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < stream.size(); i += kChunk) {
+      detector.submit_batch({stream.data() + i, std::min(kChunk, stream.size() - i)});
+    }
+    detector.flush();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ShardedThreadedRpki)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_InlineRpki(benchmark::State& state) {
+  // Single-thread reference for BM_ShardedThreadedRpki's scaling.
+  const core::Config config = make_config();
+  pipeline::ShardedDetectorOptions options;
+  options.detection.roa_table = &dense_roa_table();
+  pipeline::ShardedDetector detector(config, options);
+  const auto& stream = workload();
+  constexpr std::size_t kBatch = 1024;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(kBatch, stream.size() - i);
+    detector.submit_batch({stream.data() + i, n});
+    i += n;
+    if (i >= stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_InlineRpki);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate on benchmark regressions between two google-benchmark JSON reports.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--benchmark BM_TrieLpmLookup] [--threshold 0.25]
+
+Compares cpu_time of every benchmark entry in CURRENT whose name starts
+with --benchmark against the same-named entry in BASELINE (produced by
+record_bench.sh on comparable hardware). Exits non-zero when any entry
+regressed by more than --threshold (fraction, default 0.25 = 25%).
+Entries present on only one side are reported but do not fail the gate
+(benchmarks come and go across PRs).
+"""
+import argparse
+import json
+import sys
+
+
+def load_times(path: str, prefix: str) -> dict[str, float]:
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for entry in report.get("benchmarks", []):
+        name = entry.get("name", "")
+        if not name.startswith(prefix):
+            continue
+        if entry.get("run_type") == "aggregate":
+            continue
+        times[name] = float(entry["cpu_time"])
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--benchmark", default="BM_TrieLpmLookup",
+                        help="benchmark name prefix to gate on")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed slowdown as a fraction")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline, args.benchmark)
+    curr = load_times(args.current, args.benchmark)
+    if not base:
+        print(f"baseline has no '{args.benchmark}*' entries; nothing to gate")
+        return 0
+    if not curr:
+        print(f"error: current report has no '{args.benchmark}*' entries",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for name in sorted(curr):
+        if name not in base:
+            print(f"  NEW      {name}: {curr[name]:.1f} ns (no baseline)")
+            continue
+        ratio = curr[name] / base[name]
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSED"
+            failed = True
+        print(f"  {verdict:9s}{name}: {base[name]:.1f} -> {curr[name]:.1f} ns "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    for name in sorted(set(base) - set(curr)):
+        print(f"  GONE     {name} (was {base[name]:.1f} ns)")
+
+    if failed:
+        print(f"FAIL: regression beyond {args.threshold * 100.0:.0f}% "
+              f"on '{args.benchmark}*'", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

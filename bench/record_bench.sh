@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Records one point of the tracked bench trajectory (ROADMAP): runs
+# bench_micro and bench_pipeline with --benchmark_format=json and merges
+# both reports into BENCH_<n>.json, where <n> auto-increments per output
+# directory. CI runs this and gates on bench/check_bench_regression.py.
+#
+# Usage: bench/record_bench.sh [build_dir] [out_dir]
+#   BENCH_MIN_TIME  google-benchmark --benchmark_min_time value
+#                   (default 0.05; CI wants fast smoke runs)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench/results}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+
+for bin in bench_micro bench_pipeline; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "error: $BUILD_DIR/$bin not built (need google-benchmark)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+n=0
+while [ -e "$OUT_DIR/BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="$OUT_DIR/BENCH_${n}.json"
+
+tmp_micro="$(mktemp)"
+tmp_pipeline="$(mktemp)"
+trap 'rm -f "$tmp_micro" "$tmp_pipeline"' EXIT
+
+"$BUILD_DIR/bench_micro" --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$tmp_micro"
+"$BUILD_DIR/bench_pipeline" --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$tmp_pipeline"
+
+python3 - "$tmp_micro" "$tmp_pipeline" "$out" <<'EOF'
+import json, sys
+micro_path, pipeline_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    merged = json.load(f)
+with open(pipeline_path) as f:
+    pipeline = json.load(f)
+merged["benchmarks"].extend(pipeline["benchmarks"])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+EOF
+
+echo "$out"

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   // Event log: alerts, mitigation, per-vantage flips.
   auto& app = experiment.app();
-  app.detection().on_alert([hijack_at](const core::HijackAlert& alert) {
+  app.sharded_detection().on_alert([hijack_at](const core::HijackAlert& alert) {
     print_event(alert.detected_at, hijack_at, "DETECT", alert.to_string());
   });
   app.mitigation().on_mitigation([&](const core::MitigationRecord& record) {

@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   // is not exposed — instead we subscribe to alerts and show them, which
   // is the dashboard's job either way.
   auto& app = experiment.app();
-  app.detection().on_alert([](const core::HijackAlert& alert) {
+  app.sharded_detection().on_alert([](const core::HijackAlert& alert) {
     std::printf("\n*** ALERT ***\n  %s\n", alert.to_string().c_str());
     std::printf("  action: verify and mitigate (auto_mitigate=false in config)\n");
   });
@@ -104,8 +104,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(count));
   }
   std::printf("detection service: %llu observations processed, %llu matched owned space\n",
-              static_cast<unsigned long long>(app.detection().observations_processed()),
-              static_cast<unsigned long long>(app.detection().observations_matched()));
+              static_cast<unsigned long long>(app.sharded_detection().observations_processed()),
+              static_cast<unsigned long long>(app.sharded_detection().observations_matched()));
   if (result.detected_at) {
     std::printf("\nfirst alert %s after the hijack (source: %s)\n",
                 result.detection_delay()->to_string().c_str(),

@@ -7,15 +7,22 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
     : config_(std::move(config)) {
   controller_ =
       std::make_unique<SimController>(network, router_asn, options.controller_latency);
-  detection_ = std::make_unique<DetectionService>(config_, options.detection);
+  pipeline::ShardedDetectorOptions detector_options;
+  detector_options.shards = options.detection_shards;
+  detector_options.threaded = false;  // sim-time causality needs inline dispatch
+  detector_options.detection = options.detection;
+  detector_ = std::make_unique<pipeline::ShardedDetector>(config_, detector_options);
   mitigation_ =
       std::make_unique<MitigationService>(config_, *controller_, network.simulator());
   monitoring_ = std::make_unique<MonitoringService>(config_);
 
-  detection_->attach(hub_);
+  detector_->attach(hub_);
   monitoring_->attach(hub_);
   if (config_.mitigation().auto_mitigate) {
-    mitigation_->attach(*detection_);
+    // Alerts from every shard feed the one mitigation service (its own
+    // dedup keeps a single plan per hijack).
+    detector_->on_alert(
+        [m = mitigation_.get()](const HijackAlert& alert) { m->handle_alert(alert); });
   }
 }
 

@@ -5,6 +5,13 @@
 // architecture diagram: feeds flow into the hub; detection consumes the
 // hub and triggers mitigation; monitoring consumes the same hub to track
 // the mitigation's effect.
+//
+// Detection runs behind the sharded pipeline (src/pipeline/): the hub's
+// batch stream is hash-partitioned across `detection_shards` detection
+// shards. Inside the simulator the pipeline always dispatches inline
+// (single-threaded, deterministic, preserves sim-time causality for the
+// mitigation trigger); detection_shards == 1 — the default — is
+// behaviorally identical to the pre-pipeline wiring.
 #pragma once
 
 #include <memory>
@@ -15,12 +22,16 @@
 #include "artemis/mitigation.hpp"
 #include "artemis/monitoring.hpp"
 #include "feeds/monitor_hub.hpp"
+#include "pipeline/sharded_detector.hpp"
 #include "sim/network.hpp"
 
 namespace artemis::core {
 
 struct AppOptions {
   DetectionOptions detection;
+  /// Detection shards in the observation pipeline (inline dispatch; >1
+  /// exercises the partitioned dedup maps deterministically).
+  std::size_t detection_shards = 1;
   /// Controller command latency (paper: ~15 s to announce through ONOS).
   SimDuration controller_latency = SimDuration::seconds(15);
 };
@@ -37,7 +48,13 @@ class ArtemisApp {
 
   const Config& config() const { return config_; }
   feeds::MonitorHub& hub() { return hub_; }
-  DetectionService& detection() { return *detection_; }
+  /// The first detection shard — the whole service when detection_shards
+  /// is 1 (the default). With more shards this view is PARTIAL: register
+  /// handlers and read alerts/stats via sharded_detection() instead (the
+  /// examples do), or they silently miss hijacks owned by other shards.
+  DetectionService& detection() { return detector_->shard(0); }
+  pipeline::ShardedDetector& sharded_detection() { return *detector_; }
+  const pipeline::ShardedDetector& sharded_detection() const { return *detector_; }
   MitigationService& mitigation() { return *mitigation_; }
   MonitoringService& monitoring() { return *monitoring_; }
   SimController& controller() { return *controller_; }
@@ -46,7 +63,7 @@ class ArtemisApp {
   Config config_;
   feeds::MonitorHub hub_;
   std::unique_ptr<SimController> controller_;
-  std::unique_ptr<DetectionService> detection_;
+  std::unique_ptr<pipeline::ShardedDetector> detector_;
   std::unique_ptr<MitigationService> mitigation_;
   std::unique_ptr<MonitoringService> monitoring_;
 };

@@ -6,7 +6,8 @@ DetectionService::DetectionService(const Config& config, DetectionOptions option
     : config_(config), options_(options) {}
 
 void DetectionService::attach(feeds::MonitorHub& hub) {
-  hub.subscribe([this](const feeds::Observation& obs) { process(obs); });
+  hub.subscribe_batch(
+      [this](std::span<const feeds::Observation> batch) { process_batch(batch); });
 }
 
 void DetectionService::on_alert(AlertHandler handler) {
@@ -61,35 +62,76 @@ std::optional<DetectionService::Classification> DetectionService::classify(
   return std::nullopt;
 }
 
-void DetectionService::process(const feeds::Observation& obs) {
-  ++processed_;
-  const auto classified = classify(obs);
-  if (!classified) return;
-  ++matched_;
+void DetectionService::process_batch(std::span<const feeds::Observation> batch) {
+  // Classification is a pure function of (type, prefix, origin, first-hop
+  // neighbor) — everything else in the observation only matters once an
+  // alert is materialized. Real batches (an MRT window, a stream message
+  // burst) cluster repeats of the same route, so memoizing the previous
+  // classification skips the config-trie walk, and memoizing the previous
+  // dedup record skips the hash probe. Both caches are POD and live on
+  // the stack: the zero-allocation steady state of process() carries over
+  // verbatim (enforced by tests/detection_alloc_test.cpp).
+  struct {
+    bool valid = false;
+    feeds::ObservationType type = feeds::ObservationType::kAnnouncement;
+    net::Prefix prefix;
+    bgp::Asn origin = bgp::kNoAsn;
+    bgp::Asn neighbor = bgp::kNoAsn;
+    std::optional<Classification> result;
+  } memo;
+  AlertKey last_key{};
+  HijackRecord* last_record = nullptr;  // stable: unordered_map never moves values
 
-  // Steady state (already-seen observation): one hash find, one string
-  // hash for the source's first-seen slot — no heap allocations.
-  const AlertKey key{classified->type, obs.prefix, classified->offender};
-  const auto [it, fresh] = records_.try_emplace(key);
-  HijackRecord& record = it->second;
-  ++record.observations;
-  record.first_seen_by_source.try_emplace(obs.source, obs.delivered_at);
-  if (!fresh) return;
+  for (const feeds::Observation& obs : batch) {
+    ++processed_;
+    const bgp::Asn origin = obs.origin_as();
+    const bgp::Asn neighbor = obs.attrs.as_path.origin_neighbor();
+    if (!memo.valid || memo.type != obs.type || memo.prefix != obs.prefix ||
+        memo.origin != origin || memo.neighbor != neighbor) {
+      memo.result = classify(obs);
+      memo.valid = true;
+      memo.type = obs.type;
+      memo.prefix = obs.prefix;
+      memo.origin = origin;
+      memo.neighbor = neighbor;
+    }
+    if (!memo.result) continue;
+    const Classification& classified = *memo.result;
+    ++matched_;
 
-  // First observation of this hijack: materialize the full alert.
-  HijackAlert alert;
-  alert.type = classified->type;
-  alert.owned_prefix = classified->owned_prefix;
-  alert.observed_prefix = obs.prefix;
-  alert.offender = classified->offender;
-  alert.observed_path = obs.attrs.as_path;
-  alert.vantage = obs.vantage;
-  alert.source = obs.source;
-  alert.event_time = obs.event_time;
-  alert.detected_at = obs.delivered_at;
-  record.dedup = alert.dedup_key();
-  alerts_.push_back(alert);
-  for (const auto& handler : handlers_) handler(alert);
+    // Steady state (already-seen observation): at most one hash find, one
+    // string hash for the source's first-seen slot — no heap allocations.
+    const AlertKey key{classified.type, obs.prefix, classified.offender};
+    HijackRecord* record = nullptr;
+    bool fresh = false;
+    if (last_record != nullptr && key == last_key) {
+      record = last_record;
+    } else {
+      const auto [it, inserted] = records_.try_emplace(key);
+      record = &it->second;
+      fresh = inserted;
+      last_key = key;
+      last_record = record;
+    }
+    ++record->observations;
+    record->first_seen_by_source.try_emplace(obs.source, obs.delivered_at);
+    if (!fresh) continue;
+
+    // First observation of this hijack: materialize the full alert.
+    HijackAlert alert;
+    alert.type = classified.type;
+    alert.owned_prefix = classified.owned_prefix;
+    alert.observed_prefix = obs.prefix;
+    alert.offender = classified.offender;
+    alert.observed_path = obs.attrs.as_path;
+    alert.vantage = obs.vantage;
+    alert.source = obs.source;
+    alert.event_time = obs.event_time;
+    alert.detected_at = obs.delivered_at;
+    record->dedup = alert.dedup_key();
+    alerts_.push_back(alert);
+    for (const auto& handler : handlers_) handler(alert);
+  }
 }
 
 const std::unordered_map<std::string, SimTime>* DetectionService::first_seen_by_source(

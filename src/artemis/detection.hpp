@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,11 +49,22 @@ class DetectionService {
  public:
   DetectionService(const Config& config, DetectionOptions options = {});
 
-  /// Wires the service into a hub (subscribes to all its observations).
+  /// Wires the service into a hub (subscribes to its batch stream; every
+  /// observation from every source flows through process_batch).
   void attach(feeds::MonitorHub& hub);
 
   /// Feeds one observation (alternative to attach() for tests/replay).
-  void process(const feeds::Observation& obs);
+  /// Span-of-one shim over process_batch — identical semantics.
+  void process(const feeds::Observation& obs) { process_batch({&obs, 1}); }
+
+  /// Feeds a whole batch. Equivalent to calling process() on each element
+  /// in order (the batch-vs-loop oracle test enforces this), but amortizes
+  /// the work: consecutive observations with the same (type, prefix,
+  /// origin, first-hop) reuse the previous classification — skipping the
+  /// config-trie lookup — and consecutive observations of the same hijack
+  /// reuse the previous dedup-record probe. Steady state (already-seen
+  /// observations) performs zero heap allocations, same as process().
+  void process_batch(std::span<const feeds::Observation> batch);
 
   /// Registers an alert consumer (the mitigation service, a logger, ...).
   void on_alert(AlertHandler handler);

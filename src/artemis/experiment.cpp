@@ -164,21 +164,21 @@ HijackExperiment::HijackExperiment(const topo::AsGraph& graph,
   };
   if (params_.enable_ris) {
     ris_ = std::make_unique<feeds::StreamFeed>(*network_, params_.ris, rng.fork("ris"));
-    ris_->subscribe(app_->hub().inlet());
+    ris_->subscribe_batch(app_->hub().batch_inlet());
     add_vantages(params_.ris.vantages);
   }
   if (params_.enable_bgpmon) {
     if (params_.bgpmon.name == "ris-live") params_.bgpmon.name = "bgpmon";
     bgpmon_ = std::make_unique<feeds::StreamFeed>(*network_, params_.bgpmon,
                                                   rng.fork("bgpmon"));
-    bgpmon_->subscribe(app_->hub().inlet());
+    bgpmon_->subscribe_batch(app_->hub().batch_inlet());
     add_vantages(params_.bgpmon.vantages);
   }
   if (params_.enable_periscope) {
     periscope_ = std::make_unique<feeds::PeriscopeClient>(
         *network_, params_.looking_glasses, params_.periscope, rng.fork("periscope"));
     periscope_->monitor_prefix(params_.victim_prefix);
-    periscope_->subscribe(app_->hub().inlet());
+    periscope_->subscribe_batch(app_->hub().batch_inlet());
     std::vector<bgp::Asn> lg_ases;
     for (const auto& lg : params_.looking_glasses) lg_ases.push_back(lg.asn);
     add_vantages(lg_ases);
@@ -307,13 +307,15 @@ ExperimentResult HijackExperiment::run() {
 
   sim.run_until(end_time);
 
-  // Harvest measurements.
-  const auto& alerts = app_->detection().alerts();
+  // Harvest measurements. The merged view works for any shard count (and
+  // is the plain alert list when detection runs unsharded).
+  const auto alerts = app_->sharded_detection().merged_alerts();
   if (!alerts.empty()) {
     const auto& first = alerts.front();
     result.detected_at = first.detected_at;
     result.detection_source = first.source;
-    if (const auto* by_source = app_->detection().first_seen_by_source(first.key())) {
+    if (const auto* by_source =
+            app_->sharded_detection().first_seen_by_source(first.key())) {
       // The result keeps a std::map so reports and JSON iterate sorted.
       result.detection_by_source.insert(by_source->begin(), by_source->end());
     }

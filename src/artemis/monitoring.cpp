@@ -7,7 +7,11 @@ namespace artemis::core {
 MonitoringService::MonitoringService(const Config& config) : config_(config) {}
 
 void MonitoringService::attach(feeds::MonitorHub& hub) {
-  hub.subscribe([this](const feeds::Observation& obs) { process(obs); });
+  // Batch subscription: one handler call per delivered batch instead of
+  // one per observation; processing stays per-observation underneath.
+  hub.subscribe_batch([this](std::span<const feeds::Observation> batch) {
+    for (const auto& obs : batch) process(obs);
+  });
 }
 
 std::vector<net::IpAddress> MonitoringService::sample_points(

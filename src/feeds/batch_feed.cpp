@@ -18,7 +18,11 @@ BatchFeed::BatchFeed(sim::Network& network, BatchFeedParams params, Rng rng)
 }
 
 void BatchFeed::subscribe(ObservationHandler handler) {
-  subscribers_.push_back(std::move(handler));
+  fanout_.add(std::move(handler));
+}
+
+void BatchFeed::subscribe_batch(ObservationBatchHandler handler) {
+  fanout_.add_batch(std::move(handler));
 }
 
 void BatchFeed::on_vantage_update(bgp::Asn vantage, const bgp::UpdateMessage& update) {
@@ -84,9 +88,15 @@ void BatchFeed::deliver_file(std::vector<std::uint8_t> mrt_bytes, SimTime availa
   ++files_published_;
   auto& sim = network_.simulator();
   sim.at(available_at, [this, bytes = std::move(mrt_bytes), available_at] {
-    // Decode the published file exactly as an archive consumer would.
-    for (const auto& elem : mrt::read_elems(bytes)) {
-      Observation obs;
+    // Decode the published file exactly as an archive consumer would, and
+    // hand the whole window downstream as one batch — the natural unit of
+    // the archive pipeline (and the shape the batch-first detection path
+    // amortizes best).
+    const auto elems = mrt::read_elems(bytes);
+    std::vector<Observation> batch;
+    batch.reserve(elems.size());
+    for (const auto& elem : elems) {
+      Observation& obs = batch.emplace_back();
       switch (elem.type) {
         case mrt::ElemType::kAnnounce: obs.type = ObservationType::kAnnouncement; break;
         case mrt::ElemType::kWithdraw: obs.type = ObservationType::kWithdrawal; break;
@@ -98,8 +108,8 @@ void BatchFeed::deliver_file(std::vector<std::uint8_t> mrt_bytes, SimTime availa
       obs.attrs = elem.attrs;
       obs.event_time = elem.timestamp;
       obs.delivered_at = available_at;
-      for (const auto& handler : subscribers_) handler(obs);
     }
+    fanout_.emit(batch);
   });
 }
 

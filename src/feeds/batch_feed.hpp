@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "feeds/fanout.hpp"
 #include "feeds/observation.hpp"
 #include "mrt/mrt.hpp"
 #include "sim/network.hpp"
@@ -46,6 +47,10 @@ class BatchFeed {
 
   void subscribe(ObservationHandler handler);
 
+  /// Batch subscribers get one call per published file — the decoded
+  /// archive window as a single contiguous batch, in file order.
+  void subscribe_batch(ObservationBatchHandler handler);
+
   const std::string& name() const { return params_.name; }
 
   /// Bytes of MRT data published so far (overhead accounting).
@@ -62,7 +67,7 @@ class BatchFeed {
   sim::Network& network_;
   BatchFeedParams params_;
   Rng rng_;
-  std::vector<ObservationHandler> subscribers_;
+  ObservationFanout fanout_;
   /// MRT bytes accumulated in the current window (kUpdates mode).
   std::vector<std::uint8_t> window_buffer_;
   std::uint64_t bytes_published_ = 0;

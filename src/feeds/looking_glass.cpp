@@ -53,7 +53,7 @@ void LookingGlass::query(const net::Prefix& prefix, QueryCallback callback) {
       }
       if (!seen) unique.push_back(std::move(obs));
     }
-    callback(unique);
+    callback(std::move(unique));
   });
 }
 
@@ -79,7 +79,11 @@ void PeriscopeClient::monitor_prefix(const net::Prefix& prefix) {
 }
 
 void PeriscopeClient::subscribe(ObservationHandler handler) {
-  subscribers_.push_back(std::move(handler));
+  fanout_.add(std::move(handler));
+}
+
+void PeriscopeClient::subscribe_batch(ObservationBatchHandler handler) {
+  fanout_.add_batch(std::move(handler));
 }
 
 bool PeriscopeClient::consume_budget() {
@@ -118,13 +122,15 @@ void PeriscopeClient::poll(std::size_t glass_index) {
   for (const auto& prefix : monitored_) {
     if (!consume_budget()) continue;
     ++queries_issued_;
-    glasses_[glass_index]->query(prefix, [this](const std::vector<Observation>& results) {
+    glasses_[glass_index]->query(prefix, [this](std::vector<Observation> results) {
+      // Restamp in place (the answer is owned, not copied) and emit the
+      // whole answer as one batch.
       const SimTime now = network_.simulator().now();
-      for (auto obs : results) {
+      for (auto& obs : results) {
         obs.source = params_.name;
         obs.delivered_at = now;
-        for (const auto& handler : subscribers_) handler(obs);
       }
+      fanout_.emit(results);
     });
   }
 }

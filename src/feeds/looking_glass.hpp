@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "feeds/fanout.hpp"
 #include "feeds/observation.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
@@ -29,7 +30,9 @@ struct LookingGlassParams {
 /// hosting AS's router state.
 class LookingGlass {
  public:
-  using QueryCallback = std::function<void(const std::vector<Observation>&)>;
+  /// The answer vector is handed over by value (moved, never copied on
+  /// the hot handoff) — the callee owns and may restamp it.
+  using QueryCallback = std::function<void(std::vector<Observation>)>;
 
   LookingGlass(sim::Network& network, LookingGlassParams params, Rng rng);
 
@@ -75,6 +78,10 @@ class PeriscopeClient {
 
   void subscribe(ObservationHandler handler);
 
+  /// Batch subscribers get one call per looking-glass answer (the LPM hit
+  /// plus any more-specifics, restamped to the client's source name).
+  void subscribe_batch(ObservationBatchHandler handler);
+
   std::size_t glass_count() const { return glasses_.size(); }
   std::uint64_t queries_issued() const { return queries_issued_; }
   std::uint64_t queries_rate_limited() const { return queries_rate_limited_; }
@@ -90,7 +97,7 @@ class PeriscopeClient {
   std::vector<std::unique_ptr<LookingGlass>> glasses_;
   std::vector<SimDuration> poll_phase_;
   std::vector<net::Prefix> monitored_;
-  std::vector<ObservationHandler> subscribers_;
+  ObservationFanout fanout_;
   std::uint64_t queries_issued_ = 0;
   std::uint64_t queries_rate_limited_ = 0;
   /// Budget window bookkeeping.

@@ -5,37 +5,81 @@
 // merge point: every feed pushes Observations into it; the detection
 // service subscribes once. The hub also keeps per-source delivery
 // statistics so benches can report per-source vs combined delays (E1).
+//
+// The hub is batch-native: feeds deliver whole batches (one RIS message,
+// one decoded MRT file, one looking-glass answer) via publish_batch();
+// publish() is a thin span-of-one shim for per-observation call sites.
+// Per-source accounting uses an interned source-id table (sorted flat
+// index + flat counter vector), so the steady state does one string
+// binary-search per *run of equal sources* — typically once per batch —
+// and never touches a red-black tree. Steady-state publish_batch performs
+// no heap allocations (a new source name allocates once, on interning).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "feeds/fanout.hpp"
 #include "feeds/observation.hpp"
 
 namespace artemis::feeds {
 
 class MonitorHub {
  public:
-  /// Called by feeds (already in simulated delivery time).
-  void publish(const Observation& obs);
+  /// Called by feeds (already in simulated delivery time). The span is
+  /// only borrowed for the call.
+  void publish_batch(std::span<const Observation> batch);
 
-  /// Subscribers see every observation from every source, in delivery
-  /// order.
+  /// Per-observation shim over publish_batch for existing call sites.
+  void publish(const Observation& obs) { publish_batch({&obs, 1}); }
+
+  /// Batch subscribers see every delivered batch, in delivery order.
+  void subscribe_batch(ObservationBatchHandler handler);
+
+  /// Per-observation subscribers see every observation from every source,
+  /// in delivery order (adapted over the batch stream).
   void subscribe(ObservationHandler handler);
 
-  /// An ObservationHandler that forwards into this hub — hand it to any
-  /// feed's subscribe().
+  /// An ObservationBatchHandler that forwards into this hub — hand it to
+  /// any feed's subscribe_batch().
+  ObservationBatchHandler batch_inlet();
+
+  /// Per-observation inlet for legacy feeds/tests.
   ObservationHandler inlet();
 
   std::uint64_t total_observations() const { return total_; }
-  const std::map<std::string, std::uint64_t>& per_source_counts() const {
-    return per_source_;
-  }
+
+  /// Map-shaped view for tests, reports and JSON (sorted iteration);
+  /// materialized on demand — the hot path only maintains the flat table.
+  std::map<std::string, std::uint64_t> per_source_counts() const;
+
+  /// Allocation-free count lookup for one source (0 if never seen).
+  std::uint64_t source_count(std::string_view source) const;
+
+  /// Number of distinct sources seen so far.
+  std::size_t source_table_size() const { return sources_.size(); }
 
  private:
-  std::vector<ObservationHandler> subscribers_;
-  std::map<std::string, std::uint64_t> per_source_;
+  /// Binary search over the sorted id index (string_view compares, no
+  /// allocation); shared by intern() and source_count().
+  std::vector<std::uint32_t>::const_iterator name_lower_bound(
+      std::string_view source) const;
+
+  /// Returns the id for `source`, interning it on first sight; a miss
+  /// appends one slot and inserts its index.
+  std::uint32_t intern(std::string_view source);
+
+  struct SourceSlot {
+    std::string name;
+    std::uint64_t count = 0;
+  };
+  std::vector<SourceSlot> sources_;    ///< id -> slot, insertion order
+  std::vector<std::uint32_t> by_name_; ///< ids sorted by slot name
+  ObservationFanout fanout_;
   std::uint64_t total_ = 0;
 };
 

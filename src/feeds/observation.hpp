@@ -9,7 +9,9 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
+#include <type_traits>
 
 #include "bgp/route.hpp"
 #include "netbase/prefix.hpp"
@@ -45,6 +47,18 @@ struct Observation {
   std::string to_string() const;
 };
 
+// Feeds hand observations between pipeline stages by span and move them
+// into queues; a throwing move would tear a batch in half, so the hot
+// handoff relies on this holding for every member (string, path vector,
+// prefix, timestamps).
+static_assert(std::is_nothrow_move_constructible_v<Observation>);
+static_assert(std::is_nothrow_move_assignable_v<Observation>);
+
 using ObservationHandler = std::function<void(const Observation&)>;
+
+/// Batch-first consumer: one call per delivered batch. The span is only
+/// valid for the duration of the call; consumers that keep observations
+/// must copy (or move from their own staging buffer).
+using ObservationBatchHandler = std::function<void(std::span<const Observation>)>;
 
 }  // namespace artemis::feeds

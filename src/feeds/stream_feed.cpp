@@ -15,7 +15,11 @@ StreamFeed::StreamFeed(sim::Network& network, StreamFeedParams params, Rng rng)
 }
 
 void StreamFeed::subscribe(ObservationHandler handler) {
-  subscribers_.push_back(std::move(handler));
+  fanout_.add(std::move(handler));
+}
+
+void StreamFeed::subscribe_batch(ObservationBatchHandler handler) {
+  fanout_.add_batch(std::move(handler));
 }
 
 SimDuration StreamFeed::sample_latency() {
@@ -27,38 +31,38 @@ void StreamFeed::on_vantage_update(bgp::Asn vantage, const bgp::UpdateMessage& u
   auto& sim = network_.simulator();
   const SimTime event_time = sim.now();
 
-  // One observation per announced/withdrawn prefix, delivered after an
-  // independently sampled latency (stream messages are not ordered across
-  // prefixes; subscribers must tolerate reordering, as with real RIS-live).
+  // One collector message per vantage update: every announced/withdrawn
+  // prefix of the update travels together and arrives after one sampled
+  // latency, delivered to subscribers as a single batch. Messages are not
+  // ordered against each other (as with real RIS-live).
+  const SimDuration latency = sample_latency();
+  const SimTime delivered_at = event_time + latency;
+  std::vector<Observation> message;
+  message.reserve(update.announced.size() + update.withdrawn.size());
   for (const auto& prefix : update.announced) {
-    Observation obs;
+    Observation& obs = message.emplace_back();
     obs.type = ObservationType::kAnnouncement;
     obs.source = params_.name;
     obs.vantage = vantage;
     obs.prefix = prefix;
     obs.attrs = update.attrs;
     obs.event_time = event_time;
-    const SimDuration latency = sample_latency();
-    obs.delivered_at = event_time + latency;
-    sim.after(latency, [this, obs] {
-      ++delivered_;
-      for (const auto& handler : subscribers_) handler(obs);
-    });
+    obs.delivered_at = delivered_at;
   }
   for (const auto& prefix : update.withdrawn) {
-    Observation obs;
+    Observation& obs = message.emplace_back();
     obs.type = ObservationType::kWithdrawal;
     obs.source = params_.name;
     obs.vantage = vantage;
     obs.prefix = prefix;
     obs.event_time = event_time;
-    const SimDuration latency = sample_latency();
-    obs.delivered_at = event_time + latency;
-    sim.after(latency, [this, obs] {
-      ++delivered_;
-      for (const auto& handler : subscribers_) handler(obs);
-    });
+    obs.delivered_at = delivered_at;
   }
+  if (message.empty()) return;
+  sim.after(latency, [this, message = std::move(message)] {
+    delivered_ += message.size();
+    fanout_.emit(message);
+  });
 }
 
 }  // namespace artemis::feeds

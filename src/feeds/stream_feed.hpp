@@ -6,11 +6,18 @@
 // latency (collection + queuing + stream transport), drawn from a
 // log-normal distribution. The paper's key argument is that this latency
 // is *seconds*, vs minutes-to-hours for the archive pipeline (BatchFeed).
+//
+// Delivery is message-framed, as on the real stream: one collector
+// message carries every observation of one vantage update (all announced
+// and withdrawn prefixes), arrives after one sampled latency, and is
+// handed to subscribers as a single batch. Messages still reorder freely
+// against each other, as with real RIS-live.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "feeds/fanout.hpp"
 #include "feeds/observation.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
@@ -40,6 +47,10 @@ class StreamFeed {
   /// Registers a subscriber; called (in simulated time) per observation.
   void subscribe(ObservationHandler handler);
 
+  /// Registers a batch subscriber; called once per delivered collector
+  /// message (all observations of one vantage update).
+  void subscribe_batch(ObservationBatchHandler handler);
+
   const std::string& name() const { return params_.name; }
   const std::vector<bgp::Asn>& vantages() const { return params_.vantages; }
 
@@ -53,7 +64,7 @@ class StreamFeed {
   sim::Network& network_;
   StreamFeedParams params_;
   Rng rng_;
-  std::vector<ObservationHandler> subscribers_;
+  ObservationFanout fanout_;
   std::uint64_t delivered_ = 0;
 };
 

@@ -1,0 +1,217 @@
+#include "pipeline/sharded_detector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <tuple>
+
+namespace artemis::pipeline {
+
+ShardedDetector::Shard::Shard(const core::Config& config,
+                              const ShardedDetectorOptions& options)
+    : service(config, options.detection) {
+  if (options.threaded) {
+    ring = std::make_unique<SpscRing<feeds::Observation>>(options.queue_capacity);
+  }
+}
+
+ShardedDetector::ShardedDetector(const core::Config& config,
+                                 ShardedDetectorOptions options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.drain_batch == 0) options_.drain_batch = 1;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config, options_));
+  }
+  if (options_.threaded) {
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+    }
+  }
+}
+
+ShardedDetector::~ShardedDetector() { stop(); }
+
+std::size_t ShardedDetector::shard_of(const net::Prefix& prefix,
+                                      std::size_t shard_count) {
+  return std::hash<net::Prefix>{}(prefix) % shard_count;
+}
+
+void ShardedDetector::submit(const feeds::Observation& obs) {
+  Shard& shard = *shards_[shard_of(obs.prefix, shards_.size())];
+  if (!options_.threaded) {
+    shard.service.process(obs);
+    return;
+  }
+  // Copy-assign handoff: the ring slot's buffers are recycled, so the
+  // steady-state push allocates nothing (see spsc_ring.hpp). Backpressure
+  // pauses briefly (cheap on multicore), then yields — mandatory on
+  // oversubscribed / single-core machines where the consumer needs the
+  // core to make room.
+  int spins = 0;
+  while (!shard.ring->try_push(obs)) {
+    if (++spins < 64) {
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  ++shard.pushed;
+}
+
+void ShardedDetector::submit_batch(std::span<const feeds::Observation> batch) {
+  if (!options_.threaded) {
+    if (shards_.size() == 1) {
+      shards_[0]->service.process_batch(batch);
+      return;
+    }
+    // Inline multi-shard: hand each maximal same-shard run to its shard
+    // as a zero-copy sub-span, so the batch amortization (classification
+    // and dedup memoization) survives the partitioning on the bursty
+    // streams feeds actually produce (a run of one route is a run of one
+    // shard). Worst case (fully interleaved shards) degrades to
+    // span-of-one calls — the same cost as per-observation dispatch,
+    // still without copying. Per-shard observation order equals
+    // submission order, so output is identical to any other dispatch.
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      const std::size_t target = shard_of(batch[i].prefix, shards_.size());
+      std::size_t j = i + 1;
+      while (j < batch.size() &&
+             shard_of(batch[j].prefix, shards_.size()) == target) {
+        ++j;
+      }
+      shards_[target]->service.process_batch(batch.subspan(i, j - i));
+      i = j;
+    }
+    return;
+  }
+  for (const auto& obs : batch) submit(obs);
+}
+
+void ShardedDetector::attach(feeds::MonitorHub& hub) {
+  hub.subscribe_batch(
+      [this](std::span<const feeds::Observation> batch) { submit_batch(batch); });
+}
+
+void ShardedDetector::on_alert(core::AlertHandler handler) {
+  if (options_.threaded) {
+    // The handler list is read by worker threads inside process_batch;
+    // mutating it after observations are in flight would race with that
+    // iteration. Registration is construction-time wiring — enforce it.
+    for (const auto& shard : shards_) {
+      if (shard->pushed != 0) {
+        throw std::logic_error(
+            "ShardedDetector::on_alert: register handlers before the first "
+            "submit in threaded mode");
+      }
+    }
+  }
+  for (auto& shard : shards_) shard->service.on_alert(handler);
+}
+
+void ShardedDetector::flush() {
+  if (!options_.threaded) return;
+  for (auto& shard : shards_) {
+    while (shard->drained.load(std::memory_order_acquire) < shard->pushed) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedDetector::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!options_.threaded) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedDetector::worker_loop(Shard& shard) {
+  ObservationBatch batch;
+  batch.reserve(options_.drain_batch);
+  bool draining = false;
+  int idle_spins = 0;
+  for (;;) {
+    batch.clear();
+    while (batch.size() < options_.drain_batch) {
+      feeds::Observation& slot = batch.emplace_back();
+      if (!shard.ring->try_pop(slot)) {
+        batch.pop_back();
+        break;
+      }
+    }
+    if (!batch.empty()) {
+      idle_spins = 0;
+      shard.service.process_batch(batch.view());
+      shard.drained.fetch_add(batch.size(), std::memory_order_release);
+      continue;
+    }
+    if (draining) return;  // stop observed AND ring re-checked empty: dry
+    if (stopping_.load(std::memory_order_acquire)) {
+      // All submissions happen-before the stopping flag; loop once more so
+      // anything pushed between our empty poll and the flag read drains.
+      draining = true;
+      continue;
+    }
+    // Idle backoff ladder: pause (hot-path latency), yield (give the
+    // producer the core), then a short sleep — real feeds go seconds
+    // between messages, and a parked worker must not peg a core.
+    ++idle_spins;
+    if (idle_spins < 64) {
+      cpu_pause();
+    } else if (idle_spins < 4096) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+std::vector<core::HijackAlert> ShardedDetector::merged_alerts() const {
+  std::vector<core::HijackAlert> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.alerts().size();
+  out.reserve(total);
+  for (const auto& shard : shards_) {
+    const auto& alerts = shard->service.alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::HijackAlert& a, const core::HijackAlert& b) {
+              return std::tuple(a.detected_at.as_micros(), a.type,
+                                a.observed_prefix, a.offender) <
+                     std::tuple(b.detected_at.as_micros(), b.type,
+                                b.observed_prefix, b.offender);
+            });
+  return out;
+}
+
+std::uint64_t ShardedDetector::observations_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.observations_processed();
+  return total;
+}
+
+std::uint64_t ShardedDetector::observations_matched() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.observations_matched();
+  return total;
+}
+
+std::uint64_t ShardedDetector::observation_count(const core::AlertKey& key) const {
+  return shards_[shard_of(key.observed_prefix, shards_.size())]
+      ->service.observation_count(key);
+}
+
+const std::unordered_map<std::string, SimTime>* ShardedDetector::first_seen_by_source(
+    const core::AlertKey& key) const {
+  return shards_[shard_of(key.observed_prefix, shards_.size())]
+      ->service.first_seen_by_source(key);
+}
+
+}  // namespace artemis::pipeline

@@ -1,0 +1,137 @@
+// ShardedDetector: hash-partitioned detection over N DetectionService
+// shards.
+//
+// Partitioning key: the observed prefix. Every alert key the detection
+// service can produce uses the observed prefix as its prefix component
+// (AlertKey{type, observed_prefix, offender}), so routing observations by
+// hash(observed prefix) guarantees that all observations of one hijack —
+// and therefore its dedup record, counters and per-source first-seen
+// times — live in exactly one shard. Per-shard state is never shared;
+// statistics are merged on read.
+//
+// Determinism: each shard processes its observations in submission order
+// (inline dispatch trivially; threaded mode because the SPSC ring is
+// FIFO and each shard has exactly one worker). Since per-shard results
+// depend only on the shard's own subsequence, ShardedDetector{N} produces
+// bit-identical alerts, counts and first-seen times for every N — with
+// or without threads — as long as submissions come from one thread in a
+// fixed order. tests/pipeline_test.cpp enforces N=1 vs N=4 equivalence.
+//
+// Modes:
+//   * inline (default): submit() dispatches on the calling thread. With
+//     shards == 1 this is the deterministic single-threaded mode the sim
+//     uses — identical to a bare DetectionService, full batch
+//     amortization included.
+//   * threaded: one worker per shard drains a fixed-capacity SPSC ring
+//     in batches of up to `drain_batch`. submit*() must be called from a
+//     single thread (it is the ring producer); a full ring applies
+//     backpressure by yielding, never dropping. Alert handlers run on
+//     worker threads in this mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "artemis/detection.hpp"
+#include "pipeline/observation_batch.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace artemis::pipeline {
+
+struct ShardedDetectorOptions {
+  std::size_t shards = 1;
+  /// One worker thread per shard draining an SPSC ring; false = inline
+  /// deterministic dispatch on the submitting thread.
+  bool threaded = false;
+  /// Per-shard ring capacity in observations (rounded up to a power of
+  /// two). Full rings backpressure the producer. Sized so the slot array
+  /// stays cache-resident — bigger rings trade L2 hits for slack and
+  /// measure *slower* on bench_pipeline.
+  std::size_t queue_capacity = 1024;
+  /// Max observations a worker drains into one process_batch call.
+  std::size_t drain_batch = 128;
+  core::DetectionOptions detection;
+};
+
+class ShardedDetector {
+ public:
+  explicit ShardedDetector(const core::Config& config,
+                           ShardedDetectorOptions options = {});
+  ~ShardedDetector();
+
+  ShardedDetector(const ShardedDetector&) = delete;
+  ShardedDetector& operator=(const ShardedDetector&) = delete;
+
+  /// The sharding function: hash of the observed prefix, mod shard count.
+  static std::size_t shard_of(const net::Prefix& prefix, std::size_t shard_count);
+
+  /// Routes one observation to its shard (copying into the ring in
+  /// threaded mode). Single-threaded producers only.
+  void submit(const feeds::Observation& obs);
+
+  /// Routes a batch. With shards == 1 the whole span goes through one
+  /// process_batch call (full amortization); otherwise elements are
+  /// dispatched in order.
+  void submit_batch(std::span<const feeds::Observation> batch);
+
+  /// Subscribes to a hub's batch stream (observations flow via submit_batch).
+  void attach(feeds::MonitorHub& hub);
+
+  /// Registers a handler on every shard. Threaded mode: handlers fire on
+  /// worker threads (so they must be thread-safe) and MUST be registered
+  /// before the first submit — late registration would race with workers
+  /// iterating the handler list, and throws std::logic_error.
+  void on_alert(core::AlertHandler handler);
+
+  /// Barrier: returns once every submitted observation has been
+  /// processed. No-op in inline mode.
+  void flush();
+
+  /// Drains outstanding work and joins the workers. Idempotent; called by
+  /// the destructor. No submissions may follow.
+  void stop();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  core::DetectionService& shard(std::size_t i) { return shards_[i]->service; }
+  const core::DetectionService& shard(std::size_t i) const {
+    return shards_[i]->service;
+  }
+
+  // ---- merged-on-read statistics (flush() first in threaded mode) ----
+
+  /// All alerts across shards in canonical order: (detected_at, type,
+  /// observed prefix, offender). Canonical — not per-shard insertion —
+  /// so the result is identical for every shard count.
+  std::vector<core::HijackAlert> merged_alerts() const;
+
+  std::uint64_t observations_processed() const;
+  std::uint64_t observations_matched() const;
+
+  /// Per-key queries delegate to the single shard that owns the key.
+  std::uint64_t observation_count(const core::AlertKey& key) const;
+  const std::unordered_map<std::string, SimTime>* first_seen_by_source(
+      const core::AlertKey& key) const;
+
+ private:
+  struct Shard {
+    Shard(const core::Config& config, const ShardedDetectorOptions& options);
+    core::DetectionService service;
+    std::unique_ptr<SpscRing<feeds::Observation>> ring;  ///< threaded only
+    std::thread worker;
+    std::uint64_t pushed = 0;  ///< producer-thread only
+    alignas(64) std::atomic<std::uint64_t> drained{0};
+  };
+
+  void worker_loop(Shard& shard);
+
+  ShardedDetectorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+};
+
+}  // namespace artemis::pipeline

@@ -1,6 +1,8 @@
 // Asserts the detection hot path's zero-allocation invariant: once a
 // hijack has been seen (its record exists), re-processing matching or
-// non-matching observations performs no heap allocations at all.
+// non-matching observations performs no heap allocations at all — via
+// process(), process_batch(), the MonitorHub batch fan-out, and the
+// sharded pipeline's inline dispatch.
 //
 // The assertion works by replacing the global operator new/delete with
 // counting wrappers, which is why this test lives in its own binary (see
@@ -10,8 +12,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "artemis/detection.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "pipeline/sharded_detector.hpp"
 
 namespace {
 
@@ -123,6 +128,88 @@ TEST(DetectionAllocTest, NewSourceAllocatesOnlyOnFirstSighting) {
   ASSERT_NE(by_source, nullptr);
   EXPECT_EQ(by_source->at("ris-live"), SimTime::at_seconds(100));
   EXPECT_EQ(by_source->at("bgpmon"), SimTime::at_seconds(104));
+}
+
+TEST(DetectionAllocTest, SteadyStateProcessBatchIsAllocationFree) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+
+  // A batch mixing every steady-state flavor, with bursty repeats so the
+  // classification/dedup memoization paths are exercised too.
+  std::vector<feeds::Observation> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  }
+  batch.push_back(make_obs("10.0.1.0/24", {9, 666}, "ris-live", 101));
+  batch.push_back(make_obs("10.0.0.0/23", {9, 100, 65001}, "ris-live", 102));
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(make_obs("203.0.113.0/24", {9, 666}, "ris-live", 103));
+  }
+
+  // Prime: first sightings may allocate (records, alert copies, keys).
+  detector.process_batch(batch);
+  ASSERT_EQ(detector.alerts().size(), 2u);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) detector.process_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state DetectionService::process_batch allocated";
+
+  EXPECT_EQ(detector.observation_count(detector.alerts()[0].key()), 4u * 10001u);
+  EXPECT_EQ(detector.observations_processed(), 9u * 10001u);
+}
+
+TEST(DetectionAllocTest, SteadyStateHubBatchFanOutIsAllocationFree) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+  feeds::MonitorHub hub;
+  detector.attach(hub);
+
+  std::vector<feeds::Observation> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100 + i));
+  }
+  hub.publish_batch(batch);  // prime: interns "ris-live", creates the record
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) hub.publish_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state MonitorHub::publish_batch allocated";
+  EXPECT_EQ(hub.total_observations(), 8u * 10001u);
+  EXPECT_EQ(hub.source_count("ris-live"), 8u * 10001u);
+}
+
+TEST(DetectionAllocTest, SteadyStateShardedInlineSubmitIsAllocationFree) {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  pipeline::ShardedDetectorOptions options;
+  options.shards = 4;  // inline dispatch across partitioned dedup maps
+  pipeline::ShardedDetector detector(config, options);
+
+  std::vector<feeds::Observation> batch;
+  batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  batch.push_back(make_obs("10.0.1.0/24", {9, 666}, "ris-live", 101));
+  batch.push_back(make_obs("203.0.113.0/24", {9, 666}, "ris-live", 102));
+  detector.submit_batch(batch);  // prime
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) detector.submit_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state ShardedDetector inline submit_batch allocated";
+  EXPECT_EQ(detector.observations_processed(), 3u * 10001u);
 }
 
 }  // namespace

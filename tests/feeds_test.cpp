@@ -340,6 +340,57 @@ TEST(StreamFeedTest, DeterministicGivenSeed) {
   EXPECT_NE(run(5), run(6));
 }
 
+TEST(StreamFeedTest, BatchSubscribersSeeWholeMessages) {
+  FeedsFixture f;
+  StreamFeedParams params;
+  params.vantages = {1, 2};
+  StreamFeed feed(*f.network, params, Rng(12));
+
+  std::size_t batch_count = 0;
+  std::size_t batched_total = 0;
+  std::vector<Observation> per_obs;
+  feed.subscribe_batch([&](std::span<const Observation> batch) {
+    ++batch_count;
+    batched_total += batch.size();
+    // One collector message = one delivery instant for every observation.
+    for (const auto& obs : batch) {
+      EXPECT_EQ(obs.delivered_at, batch.front().delivered_at);
+      EXPECT_EQ(obs.source, batch.front().source);
+      EXPECT_EQ(obs.vantage, batch.front().vantage);
+    }
+  });
+  feed.subscribe([&](const Observation& obs) { per_obs.push_back(obs); });
+
+  f.network->speaker(3).originate(net::Prefix::must_parse("10.0.0.0/23"));
+  f.network->run_to_convergence();
+
+  EXPECT_GT(batch_count, 0u);
+  // Per-observation subscribers see exactly the flattened batch stream.
+  EXPECT_EQ(per_obs.size(), batched_total);
+  EXPECT_EQ(feed.delivered_count(), batched_total);
+}
+
+TEST(BatchFeedTest, FilesArriveAsSingleBatches) {
+  FeedsFixture f;
+  BatchFeedParams params;
+  params.vantages = {1, 2};
+  params.interval = SimDuration::minutes(15);
+  params.publish_delay = SimDuration::seconds(60);
+  BatchFeed feed(*f.network, params, Rng(13));
+
+  std::vector<std::size_t> batch_sizes;
+  feed.subscribe_batch([&](std::span<const Observation> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+
+  f.network->speaker(3).originate(net::Prefix::must_parse("10.0.0.0/23"));
+  f.network->simulator().run_until(SimTime::at_seconds(15 * 60 + 61));
+
+  // One file published => exactly one batch, carrying every decoded elem.
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_GE(batch_sizes.front(), 2u);  // both vantages' updates in the window
+}
+
 TEST(MonitorHubTest, FanOutAndCounters) {
   MonitorHub hub;
   int a = 0;

@@ -1,0 +1,398 @@
+// The batched/sharded observation pipeline (src/pipeline/).
+//
+// The two load-bearing suites are the oracles the ISSUE asks for:
+//   * BatchVsLoopOracle — DetectionService::process_batch must equal
+//     repeated process() exactly (alerts, counts, first-seen times).
+//   * ShardedEquivalence — ShardedDetector{N=1} and {N=4}, inline and
+//     threaded, must produce bit-identical merged output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "artemis/detection.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "pipeline/observation_batch.hpp"
+#include "pipeline/sharded_detector.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "util/rng.hpp"
+
+namespace artemis::pipeline {
+namespace {
+
+using core::AlertKey;
+using core::Config;
+using core::DetectionService;
+using core::HijackAlert;
+using core::OwnedPrefix;
+using feeds::Observation;
+using feeds::ObservationType;
+
+Config make_config() {
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  OwnedPrefix second;
+  second.prefix = net::Prefix::must_parse("192.0.2.0/24");
+  second.legitimate_origins.insert(65002);
+  config.add_owned(std::move(second));
+  return config;
+}
+
+Observation make_obs(std::string_view prefix, std::vector<bgp::Asn> path,
+                     std::string source, double at_seconds,
+                     ObservationType type = ObservationType::kAnnouncement) {
+  Observation obs;
+  obs.type = type;
+  obs.source = std::move(source);
+  obs.vantage = path.empty() ? 9 : path.front();
+  obs.prefix = net::Prefix::must_parse(prefix);
+  obs.attrs.as_path = bgp::AsPath(std::move(path));
+  obs.event_time = SimTime::at_seconds(at_seconds - 5);
+  obs.delivered_at = SimTime::at_seconds(at_seconds);
+  return obs;
+}
+
+/// A mixed scenario stream: hijacks against both owned prefixes (exact,
+/// sub-prefix, super-prefix), legitimate announcements, unrelated noise,
+/// several sources and offenders, with bursty repetition — the shape a
+/// real merged feed has.
+std::vector<Observation> scenario_stream(std::uint64_t seed, int count) {
+  Rng rng(seed);
+  const std::vector<std::string> prefixes = {
+      "10.0.0.0/23",    // owned #1 exact
+      "10.0.1.0/24",    // sub-prefix of owned #1
+      "10.0.0.0/16",    // super-prefix of owned #1
+      "192.0.2.0/24",   // owned #2 exact
+      "192.0.2.128/25", // sub-prefix of owned #2
+      "203.0.113.0/24", // unrelated
+      "198.51.100.0/24" // unrelated
+  };
+  const std::vector<bgp::Asn> origins = {666, 667, 65001, 65002};
+  const std::vector<std::string> sources = {"ris-live", "bgpmon", "periscope"};
+  std::vector<Observation> stream;
+  stream.reserve(static_cast<std::size_t>(count));
+  double t = 100.0;
+  while (static_cast<int>(stream.size()) < count) {
+    const auto& prefix = prefixes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(prefixes.size()) - 1))];
+    const auto origin = origins[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    const auto& source = sources[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    const auto burst = rng.uniform_int(1, 6);
+    for (std::int64_t b = 0; b < burst && static_cast<int>(stream.size()) < count; ++b) {
+      t += 0.25;
+      stream.push_back(make_obs(prefix, {9, 3356, origin}, source, t));
+    }
+  }
+  return stream;
+}
+
+void expect_same_alert(const HijackAlert& a, const HijackAlert& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.owned_prefix, b.owned_prefix);
+  EXPECT_EQ(a.observed_prefix, b.observed_prefix);
+  EXPECT_EQ(a.offender, b.offender);
+  EXPECT_EQ(a.observed_path.to_string(), b.observed_path.to_string());
+  EXPECT_EQ(a.vantage, b.vantage);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.event_time, b.event_time);
+  EXPECT_EQ(a.detected_at, b.detected_at);
+}
+
+// ---------------------------------------------------------------- SpscRing
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  SpscRing<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscRingTest, FifoOrderAndWraparound) {
+  SpscRing<int> ring(4);  // capacity 4
+  int out = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(round * 4 + i));
+    EXPECT_FALSE(ring.try_push(999));  // full
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, round * 4 + i);
+    }
+    EXPECT_FALSE(ring.try_pop(out));  // empty
+  }
+}
+
+TEST(SpscRingTest, CrossThreadTransferPreservesSequence) {
+  SpscRing<int> ring(64);
+  constexpr int kCount = 100000;
+  std::vector<int> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    int value = 0;
+    while (static_cast<int>(received.size()) < kCount) {
+      if (ring.try_pop(value)) {
+        received.push_back(value);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(int{i})) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) ASSERT_EQ(received[i], i);
+}
+
+// --------------------------------------------------------- ObservationBatch
+
+TEST(ObservationBatchTest, ClearRetainsElementsForReuse) {
+  ObservationBatch batch;
+  batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  batch.push_back(make_obs("10.0.1.0/24", {9, 667}, "bgpmon", 101));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.view().size(), 2u);
+  const feeds::Observation* slot0 = &batch[0];
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  // emplace_back after clear hands back the same storage.
+  EXPECT_EQ(&batch.emplace_back(), slot0);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(ObservationBatchTest, PopBackUndoesEmplace) {
+  ObservationBatch batch;
+  batch.emplace_back();
+  batch.pop_back();
+  EXPECT_TRUE(batch.empty());
+}
+
+// ------------------------------------------------------- batch-vs-loop oracle
+
+TEST(PipelineOracleTest, ProcessBatchEqualsRepeatedProcess) {
+  const Config config = make_config();
+  const auto stream = scenario_stream(42, 3000);
+
+  DetectionService loop_service(config);
+  for (const auto& obs : stream) loop_service.process(obs);
+
+  // Feed the identical stream through process_batch at several chunk
+  // sizes, including pathological ones (1, prime, larger than stream).
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  std::size_t{997}, stream.size() + 1}) {
+    DetectionService batch_service(config);
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - i);
+      batch_service.process_batch({stream.data() + i, n});
+    }
+    EXPECT_EQ(batch_service.observations_processed(),
+              loop_service.observations_processed());
+    EXPECT_EQ(batch_service.observations_matched(), loop_service.observations_matched());
+    ASSERT_EQ(batch_service.alerts().size(), loop_service.alerts().size())
+        << "chunk=" << chunk;
+    for (std::size_t i = 0; i < loop_service.alerts().size(); ++i) {
+      expect_same_alert(batch_service.alerts()[i], loop_service.alerts()[i]);
+      const AlertKey key = loop_service.alerts()[i].key();
+      EXPECT_EQ(batch_service.observation_count(key), loop_service.observation_count(key));
+      const auto* loop_seen = loop_service.first_seen_by_source(key);
+      const auto* batch_seen = batch_service.first_seen_by_source(key);
+      ASSERT_NE(loop_seen, nullptr);
+      ASSERT_NE(batch_seen, nullptr);
+      EXPECT_EQ(*loop_seen, *batch_seen);
+    }
+  }
+}
+
+TEST(PipelineOracleTest, MemoizationRespectsTypeAndPathChanges) {
+  // Adjacent observations that differ ONLY in type / origin / first hop
+  // must not reuse a stale classification.
+  const Config config = make_config();
+  DetectionService service(config);
+  std::vector<Observation> batch;
+  batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));    // hijack
+  batch.push_back(make_obs("10.0.0.0/23", {9, 65001}, "ris-live", 101));  // legit
+  batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 102));    // hijack again
+  batch.push_back(make_obs("10.0.0.0/23", {9, 667}, "ris-live", 103));    // new offender
+  batch.push_back(make_obs("10.0.0.0/23", {9, 667}, "ris-live", 104,
+                           ObservationType::kWithdrawal));                // withdrawal
+  service.process_batch(batch);
+  EXPECT_EQ(service.alerts().size(), 2u);  // offenders 666 and 667
+  EXPECT_EQ(service.observations_matched(), 3u);
+  EXPECT_EQ(service.observations_processed(), 5u);
+}
+
+// ------------------------------------------------------- sharded equivalence
+
+TEST(ShardedDetectorTest, ShardOfIsStableAndInRange) {
+  const auto p = net::Prefix::must_parse("10.0.0.0/23");
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    const auto s = ShardedDetector::shard_of(p, n);
+    EXPECT_LT(s, n);
+    EXPECT_EQ(s, ShardedDetector::shard_of(p, n));
+  }
+  EXPECT_EQ(ShardedDetector::shard_of(p, 1), 0u);
+}
+
+TEST(ShardedDetectorTest, ShardedVsSingleThreadEquivalence) {
+  const Config config = make_config();
+  const auto stream = scenario_stream(7, 4000);
+
+  // Reference: deterministic single-threaded N=1 mode.
+  ShardedDetectorOptions ref_options;
+  ref_options.shards = 1;
+  ShardedDetector reference(config, ref_options);
+  reference.submit_batch(stream);
+
+  auto check = [&](ShardedDetector& other) {
+    EXPECT_EQ(other.observations_processed(), reference.observations_processed());
+    EXPECT_EQ(other.observations_matched(), reference.observations_matched());
+    const auto ref_alerts = reference.merged_alerts();
+    const auto other_alerts = other.merged_alerts();
+    ASSERT_EQ(other_alerts.size(), ref_alerts.size());
+    for (std::size_t i = 0; i < ref_alerts.size(); ++i) {
+      expect_same_alert(other_alerts[i], ref_alerts[i]);
+      const AlertKey key = ref_alerts[i].key();
+      EXPECT_EQ(other.observation_count(key), reference.observation_count(key));
+      const auto* ref_seen = reference.first_seen_by_source(key);
+      const auto* other_seen = other.first_seen_by_source(key);
+      ASSERT_NE(ref_seen, nullptr);
+      ASSERT_NE(other_seen, nullptr);
+      EXPECT_EQ(*ref_seen, *other_seen);  // identical per-source first-seen times
+    }
+  };
+
+  {
+    ShardedDetectorOptions options;
+    options.shards = 4;
+    ShardedDetector inline4(config, options);
+    inline4.submit_batch(stream);
+    // Observations of one prefix all live in one shard.
+    std::uint64_t across = 0;
+    for (std::size_t s = 0; s < inline4.shard_count(); ++s) {
+      across += inline4.shard(s).observations_processed();
+    }
+    EXPECT_EQ(across, stream.size());
+    check(inline4);
+  }
+  {
+    ShardedDetectorOptions options;
+    options.shards = 4;
+    options.threaded = true;
+    options.queue_capacity = 256;  // small ring: exercises backpressure
+    options.drain_batch = 32;
+    ShardedDetector threaded4(config, options);
+    for (std::size_t i = 0; i < stream.size(); i += 100) {
+      threaded4.submit_batch({stream.data() + i, std::min<std::size_t>(100, stream.size() - i)});
+    }
+    threaded4.flush();
+    check(threaded4);
+    threaded4.stop();
+    check(threaded4);  // stop() must not lose or duplicate anything
+  }
+  {
+    ShardedDetectorOptions options;
+    options.shards = 1;
+    options.threaded = true;
+    ShardedDetector threaded1(config, options);
+    threaded1.submit_batch(stream);
+    threaded1.flush();
+    check(threaded1);
+  }
+}
+
+TEST(ShardedDetectorTest, AlertHandlersFireOnEveryShard) {
+  const Config config = make_config();
+  ShardedDetectorOptions options;
+  options.shards = 4;
+  ShardedDetector detector(config, options);
+  std::vector<HijackAlert> seen;
+  detector.on_alert([&](const HijackAlert& alert) { seen.push_back(alert); });
+  const auto stream = scenario_stream(9, 1000);
+  detector.submit_batch(stream);
+  EXPECT_EQ(seen.size(), detector.merged_alerts().size());
+  EXPECT_GT(seen.size(), 0u);
+}
+
+TEST(ShardedDetectorTest, ThreadedLateHandlerRegistrationThrows) {
+  const Config config = make_config();
+  ShardedDetectorOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  ShardedDetector detector(config, options);
+  detector.on_alert([](const HijackAlert&) {});  // before submit: fine
+  detector.submit(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  // After observations are in flight, registration would race the
+  // workers' handler iteration.
+  EXPECT_THROW(detector.on_alert([](const HijackAlert&) {}), std::logic_error);
+  detector.flush();
+}
+
+TEST(ShardedDetectorTest, AttachConsumesHubBatches) {
+  const Config config = make_config();
+  feeds::MonitorHub hub;
+  ShardedDetector detector(config, {});
+  detector.attach(hub);
+  const auto stream = scenario_stream(11, 500);
+  hub.publish_batch(stream);
+  EXPECT_EQ(detector.observations_processed(), stream.size());
+  EXPECT_EQ(hub.total_observations(), stream.size());
+  EXPECT_GT(detector.merged_alerts().size(), 0u);
+}
+
+// ------------------------------------------------------------- hub batching
+
+TEST(MonitorHubBatchTest, BatchAndPerObservationSubscribersAgree) {
+  feeds::MonitorHub hub;
+  std::size_t batch_total = 0;
+  std::size_t batch_calls = 0;
+  std::size_t per_obs_total = 0;
+  hub.subscribe_batch([&](std::span<const Observation> batch) {
+    ++batch_calls;
+    batch_total += batch.size();
+  });
+  hub.subscribe([&](const Observation&) { ++per_obs_total; });
+
+  std::vector<Observation> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100 + i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "bgpmon", 110 + i));
+  }
+  hub.publish_batch(batch);
+  hub.batch_inlet()(batch);
+
+  EXPECT_EQ(batch_calls, 2u);
+  EXPECT_EQ(batch_total, 16u);
+  EXPECT_EQ(per_obs_total, 16u);
+  EXPECT_EQ(hub.total_observations(), 16u);
+  // Mixed-source batch: the run-length accounting still splits correctly.
+  EXPECT_EQ(hub.source_count("ris-live"), 10u);
+  EXPECT_EQ(hub.source_count("bgpmon"), 6u);
+  EXPECT_EQ(hub.source_count("never-seen"), 0u);
+  EXPECT_EQ(hub.per_source_counts().at("ris-live"), 10u);
+  EXPECT_EQ(hub.source_table_size(), 2u);
+}
+
+TEST(MonitorHubBatchTest, InternKeepsIdsStableAcrossInsertionOrder) {
+  feeds::MonitorHub hub;
+  // Interleave names that sort in the opposite order of first sight.
+  for (const char* name : {"zebra", "alpha", "zebra", "mid", "alpha", "zebra"}) {
+    Observation obs;
+    obs.source = name;
+    hub.publish(obs);
+  }
+  EXPECT_EQ(hub.source_count("zebra"), 3u);
+  EXPECT_EQ(hub.source_count("alpha"), 2u);
+  EXPECT_EQ(hub.source_count("mid"), 1u);
+  const auto map = hub.per_source_counts();
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.begin()->first, "alpha");  // map-shaped accessor sorts
+}
+
+}  // namespace
+}  // namespace artemis::pipeline

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Records one point of the tracked bench trajectory (ROADMAP): runs
-# bench_micro and bench_pipeline with --benchmark_format=json and merges
-# both reports into BENCH_<n>.json, where <n> auto-increments per output
-# directory. CI runs this and gates on bench/check_bench_regression.py.
+# bench_micro, bench_pipeline and bench_journal with
+# --benchmark_format=json and merges the reports into BENCH_<n>.json,
+# where <n> auto-increments per output directory. CI runs this and gates
+# on bench/check_bench_regression.py.
 #
 # Usage: bench/record_bench.sh [build_dir] [out_dir]
 #   BENCH_MIN_TIME  google-benchmark --benchmark_min_time value
@@ -13,7 +14,8 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench/results}"
 MIN_TIME="${BENCH_MIN_TIME:-0.05}"
 
-for bin in bench_micro bench_pipeline; do
+BINS=(bench_micro bench_pipeline bench_journal)
+for bin in "${BINS[@]}"; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need google-benchmark)" >&2
     exit 1
@@ -25,23 +27,24 @@ n=0
 while [ -e "$OUT_DIR/BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="$OUT_DIR/BENCH_${n}.json"
 
-tmp_micro="$(mktemp)"
-tmp_pipeline="$(mktemp)"
-trap 'rm -f "$tmp_micro" "$tmp_pipeline"' EXIT
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
 
-"$BUILD_DIR/bench_micro" --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json > "$tmp_micro"
-"$BUILD_DIR/bench_pipeline" --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json > "$tmp_pipeline"
+reports=()
+for bin in "${BINS[@]}"; do
+  "$BUILD_DIR/$bin" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$tmpdir/$bin.json"
+  reports+=("$tmpdir/$bin.json")
+done
 
-python3 - "$tmp_micro" "$tmp_pipeline" "$out" <<'EOF'
+python3 - "$out" "${reports[@]}" <<'EOF'
 import json, sys
-micro_path, pipeline_path, out_path = sys.argv[1:4]
-with open(micro_path) as f:
+out_path, first, *rest = sys.argv[1:]
+with open(first) as f:
     merged = json.load(f)
-with open(pipeline_path) as f:
-    pipeline = json.load(f)
-merged["benchmarks"].extend(pipeline["benchmarks"])
+for path in rest:
+    with open(path) as f:
+        merged["benchmarks"].extend(json.load(f)["benchmarks"])
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 EOF

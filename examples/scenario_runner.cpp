@@ -2,12 +2,25 @@
 // machine-readable JSON result (sweep driver material — point it at a
 // directory of scenario files from a shell loop).
 //
-// Usage: scenario_runner [scenario.json]
-//   Without an argument a built-in demonstration scenario runs: a /24
-//   victim defended by three outsourced helpers under a Type-1 attack
-//   with the first-hop check enabled — the full extension surface in one
-//   file.
+// Usage: scenario_runner [scenario.json] [options]
+//   --journal DIR   record every hub-delivered observation to a journal
+//                   in DIR (same as "journal_dir" in the scenario JSON)
+//   --replay DIR    do not run the live simulation; replay the journal
+//                   in DIR through a fresh app built from the scenario's
+//                   config and print the replayed detection view
+//   --warp N        with --replay: time-warped pacing at N× recorded
+//                   speed through the simulator clock (default: as fast
+//                   as possible, no pacing)
+//   --shards N      with --replay: override detection_shards — replayed
+//                   output is bit-identical for any N
+//
+//   Without a scenario argument a built-in demonstration scenario runs:
+//   a /24 victim defended by three outsourced helpers under a Type-1
+//   attack with the first-hop check enabled — the full extension surface
+//   in one file.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -32,30 +45,101 @@ constexpr std::string_view kDefaultScenario = R"({
   }
 })";
 
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "error: %s\n", what);
+  std::fprintf(stderr,
+               "usage: scenario_runner [scenario.json] [--journal DIR] "
+               "[--replay DIR [--warp N] [--shards N]]\n");
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string text(kDefaultScenario);
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
+  std::string journal_dir;
+  std::string replay_dir;
+  core::ReplayRunOptions replay_options;
+  bool scenario_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      journal_dir = flag_value("--journal");
+    } else if (arg == "--replay") {
+      replay_dir = flag_value("--replay");
+    } else if (arg == "--warp") {
+      const char* text = flag_value("--warp");
+      char* rest = nullptr;
+      replay_options.speedup = std::strtod(text, &rest);
+      if (rest == text || *rest != '\0' || !(replay_options.speedup > 0.0)) {
+        usage_error("--warp must be a number > 0");
+      }
+    } else if (arg == "--shards") {
+      // strtol (not strtoul): "-1" must be rejected, not wrapped huge.
+      const char* text = flag_value("--shards");
+      char* rest = nullptr;
+      const long shards = std::strtol(text, &rest, 10);
+      if (rest == text || *rest != '\0' || shards < 1 || shards > 1024) {
+        usage_error("--shards must be an integer in [1, 1024]");
+      }
+      replay_options.detection_shards = static_cast<std::size_t>(shards);
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_error(("unknown option " + std::string(arg)).c_str());
+    } else if (scenario_given) {
+      usage_error("more than one scenario file given");
+    } else {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+      scenario_given = true;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
-  } else {
+  }
+  // Reject silently-ignored combinations: pacing/sharding flags only
+  // affect replay, and recording is meaningless while replaying.
+  if (replay_dir.empty() &&
+      (replay_options.speedup > 0.0 || replay_options.detection_shards > 0)) {
+    usage_error("--warp/--shards require --replay");
+  }
+  if (!replay_dir.empty() && !journal_dir.empty()) {
+    usage_error("--journal cannot be combined with --replay");
+  }
+  if (!scenario_given) {
     std::fprintf(stderr, "(no scenario given; running the built-in demo scenario)\n");
   }
 
   try {
-    const core::Scenario scenario = core::load_scenario_text(text);
+    core::Scenario scenario = core::load_scenario_text(text);
     std::fprintf(stderr, "topology: %zu ASes; victim AS%u, attacker AS%u\n",
                  scenario.graph.as_count(), scenario.experiment.victim,
                  scenario.experiment.attacker);
+
+    if (!replay_dir.empty()) {
+      // Replay mode: the recorded stream, not the simulator, drives the
+      // fresh app. Output must match the recording run for any shard
+      // count or warp factor.
+      const auto replayed =
+          core::replay_scenario_journal(scenario, replay_dir, replay_options);
+      std::printf("%s\n", replayed.dump(2).c_str());
+      return 0;
+    }
+
+    if (!journal_dir.empty()) scenario.experiment.app.journal_dir = journal_dir;
     const auto result = scenario.run();
     std::fprintf(stderr, "%s\n", result.summary().c_str());
+    if (!scenario.experiment.app.journal_dir.empty()) {
+      std::fprintf(stderr, "journal recorded to %s\n",
+                   scenario.experiment.app.journal_dir.c_str());
+    }
     // Results to stdout as JSON; progress/diagnostics went to stderr.
     std::printf("%s\n", core::result_to_json(result).dump(2).c_str());
   } catch (const std::exception& e) {

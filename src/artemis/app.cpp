@@ -16,6 +16,13 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
       std::make_unique<MitigationService>(config_, *controller_, network.simulator());
   monitoring_ = std::make_unique<MonitoringService>(config_);
 
+  if (!options.journal_dir.empty()) {
+    // The tap subscribes before the detector so the recorded stream is
+    // complete even if a downstream alert handler throws mid-batch.
+    journal_ =
+        std::make_unique<journal::JournalWriter>(options.journal_dir, options.journal);
+    journal_->attach(hub_);
+  }
   detector_->attach(hub_);
   monitoring_->attach(hub_);
   if (config_.mitigation().auto_mitigate) {

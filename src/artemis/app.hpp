@@ -22,6 +22,7 @@
 #include "artemis/mitigation.hpp"
 #include "artemis/monitoring.hpp"
 #include "feeds/monitor_hub.hpp"
+#include "journal/writer.hpp"
 #include "pipeline/sharded_detector.hpp"
 #include "sim/network.hpp"
 
@@ -34,6 +35,11 @@ struct AppOptions {
   std::size_t detection_shards = 1;
   /// Controller command latency (paper: ~15 s to announce through ONOS).
   SimDuration controller_latency = SimDuration::seconds(15);
+  /// When non-empty, every observation the hub delivers is also recorded
+  /// to an on-disk journal in this directory (src/journal/); replaying it
+  /// into a fresh app reproduces the detection state bit-identically.
+  std::string journal_dir;
+  journal::JournalWriterOptions journal;
 };
 
 class ArtemisApp {
@@ -58,11 +64,15 @@ class ArtemisApp {
   MitigationService& mitigation() { return *mitigation_; }
   MonitoringService& monitoring() { return *monitoring_; }
   SimController& controller() { return *controller_; }
+  /// The observation journal recorder; nullptr unless
+  /// AppOptions::journal_dir was set.
+  journal::JournalWriter* journal_writer() { return journal_.get(); }
 
  private:
   Config config_;
   feeds::MonitorHub hub_;
   std::unique_ptr<SimController> controller_;
+  std::unique_ptr<journal::JournalWriter> journal_;
   std::unique_ptr<pipeline::ShardedDetector> detector_;
   std::unique_ptr<MitigationService> mitigation_;
   std::unique_ptr<MonitoringService> monitoring_;

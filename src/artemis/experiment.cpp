@@ -18,6 +18,64 @@ std::vector<net::IpAddress> truth_sample_points(const net::Prefix& owned) {
 
 }  // namespace
 
+std::vector<bgp::Asn> recruit_helpers(const topo::AsGraph& graph,
+                                      const ExperimentParams& params) {
+  if (!params.helpers.empty() || params.helper_count <= 0) return params.helpers;
+  const auto cone_sizes = topo::customer_cone_sizes(graph);
+  std::vector<bgp::Asn> candidates;
+  for (const auto asn : graph.all_ases()) {
+    if (asn == params.victim || asn == params.attacker) continue;
+    candidates.push_back(asn);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&cone_sizes](bgp::Asn a, bgp::Asn b) {
+              const auto sa = cone_sizes.at(a);
+              const auto sb = cone_sizes.at(b);
+              return sa != sb ? sa > sb : a < b;
+            });
+  candidates.resize(std::min<std::size_t>(
+      candidates.size(), static_cast<std::size_t>(params.helper_count)));
+  return candidates;
+}
+
+Config build_experiment_config(const topo::AsGraph& graph,
+                               const ExperimentParams& params,
+                               const std::vector<bgp::Asn>& helpers) {
+  // The victim owns the prefix; its direct neighbors are the legitimate
+  // upstreams (for the Type-1 extension). Helper ASes are legitimate
+  // origins too: traffic they attract is tunneled back.
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = params.victim_prefix;
+  owned.legitimate_origins.insert(params.victim);
+  for (const auto helper : helpers) owned.legitimate_origins.insert(helper);
+  for (const auto& neighbor : graph.neighbors(params.victim)) {
+    owned.legitimate_neighbors.insert(neighbor.asn);
+  }
+  // Helpers originate during outsourced mitigation; their neighbors must
+  // be acceptable first hops or the Type-1 check would self-alert on the
+  // mitigation announcements.
+  for (const auto helper : helpers) {
+    for (const auto& neighbor : graph.neighbors(helper)) {
+      owned.legitimate_neighbors.insert(neighbor.asn);
+    }
+  }
+  config.add_owned(std::move(owned));
+  return config;
+}
+
+std::vector<std::unique_ptr<SimController>> wire_helpers(
+    ArtemisApp& app, sim::Network& network, const std::vector<bgp::Asn>& helpers,
+    SimDuration controller_latency) {
+  std::vector<std::unique_ptr<SimController>> controllers;
+  for (const auto helper : helpers) {
+    controllers.push_back(
+        std::make_unique<SimController>(network, helper, controller_latency));
+    app.mitigation().add_helper(*controllers.back());
+  }
+  return controllers;
+}
+
 std::optional<SimDuration> ExperimentResult::detection_delay() const {
   if (!detected_at) return std::nullopt;
   return *detected_at - hijack_at;
@@ -105,56 +163,17 @@ HijackExperiment::HijackExperiment(const topo::AsGraph& graph,
   params_.ris.name = params_.ris.name.empty() ? "ris-live" : params_.ris.name;
   if (params_.bgpmon.name == "ris-live") params_.bgpmon.name = "bgpmon";
 
-  // Mitigation outsourcing (extension): recruit helper organizations. If
-  // none are named, take the best-connected transit ASes (largest
-  // customer cones) — the organizations a real victim would contract.
-  helpers_ = params_.helpers;
-  if (helpers_.empty() && params_.helper_count > 0) {
-    const auto cone_sizes = topo::customer_cone_sizes(graph);
-    std::vector<bgp::Asn> candidates;
-    for (const auto asn : graph.all_ases()) {
-      if (asn == params_.victim || asn == params_.attacker) continue;
-      candidates.push_back(asn);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [&cone_sizes](bgp::Asn a, bgp::Asn b) {
-                const auto sa = cone_sizes.at(a);
-                const auto sb = cone_sizes.at(b);
-                return sa != sb ? sa > sb : a < b;
-              });
-    candidates.resize(std::min<std::size_t>(
-        candidates.size(), static_cast<std::size_t>(params_.helper_count)));
-    helpers_ = candidates;
-  }
-
-  // ARTEMIS config: the victim owns the prefix; its direct neighbors are
-  // the legitimate upstreams (for the Type-1 extension). Helper ASes are
-  // legitimate origins too: traffic they attract is tunneled back.
-  Config config;
-  OwnedPrefix owned;
-  owned.prefix = params_.victim_prefix;
-  owned.legitimate_origins.insert(params_.victim);
-  for (const auto helper : helpers_) owned.legitimate_origins.insert(helper);
-  legit_origins_ = owned.legitimate_origins;
-  for (const auto& neighbor : graph.neighbors(params_.victim)) {
-    owned.legitimate_neighbors.insert(neighbor.asn);
-  }
-  // Helpers originate during outsourced mitigation; their neighbors must
-  // be acceptable first hops or the Type-1 check would self-alert on the
-  // mitigation announcements.
-  for (const auto helper : helpers_) {
-    for (const auto& neighbor : graph.neighbors(helper)) {
-      owned.legitimate_neighbors.insert(neighbor.asn);
-    }
-  }
-  config.add_owned(std::move(owned));
+  // Mitigation outsourcing (extension): recruit helper organizations and
+  // derive the operator config they participate in. Both steps are
+  // shared with journal replay (replay_scenario_journal), which must
+  // reconstruct the recording run's exact ground truth.
+  helpers_ = recruit_helpers(graph, params_);
+  Config config = build_experiment_config(graph, params_, helpers_);
+  legit_origins_ = config.owned().front().legitimate_origins;
   app_ = std::make_unique<ArtemisApp>(std::move(config), *network_, params_.victim,
                                       params_.app);
-  for (const auto helper : helpers_) {
-    helper_controllers_.push_back(std::make_unique<SimController>(
-        *network_, helper, params_.app.controller_latency));
-    app_->mitigation().add_helper(*helper_controllers_.back());
-  }
+  helper_controllers_ =
+      wire_helpers(*app_, *network_, helpers_, params_.app.controller_latency);
 
   std::unordered_set<bgp::Asn> seen;
   auto add_vantages = [this, &seen](const std::vector<bgp::Asn>& vantages) {

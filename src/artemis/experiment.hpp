@@ -100,6 +100,30 @@ struct ExperimentResult {
   std::string summary() const;
 };
 
+/// Helper-organization recruitment: the explicit list when given,
+/// otherwise the `helper_count` best-connected transit ASes (largest
+/// customer cones) — the organizations a real victim would contract.
+/// Shared by the live experiment and journal replay.
+std::vector<bgp::Asn> recruit_helpers(const topo::AsGraph& graph,
+                                      const ExperimentParams& params);
+
+/// The ARTEMIS operator config for an experiment: the victim owns the
+/// prefix, helpers are legitimate co-origins, direct neighbors of both
+/// are legitimate first hops. A replayed journal must be checked against
+/// this exact ground truth to reproduce the recording run's alerts.
+Config build_experiment_config(const topo::AsGraph& graph,
+                               const ExperimentParams& params,
+                               const std::vector<bgp::Asn>& helpers);
+
+/// Creates one SimController per helper AS and registers it with the
+/// app's mitigation service (the outsourcing wiring). Returns the
+/// controllers; the caller must keep them alive as long as the app can
+/// mitigate. Shared by the live experiment and journal replay so the
+/// replayed mitigation behavior matches the recording run's exactly.
+std::vector<std::unique_ptr<SimController>> wire_helpers(
+    ArtemisApp& app, sim::Network& network, const std::vector<bgp::Asn>& helpers,
+    SimDuration controller_latency);
+
 class HijackExperiment {
  public:
   /// Builds the network, feeds and app. `graph` must outlive the

@@ -44,7 +44,7 @@ void MitigationService::on_mitigation(MitigationHandler handler) {
 
 void MitigationService::handle_alert(const HijackAlert& alert) {
   if (!config_.mitigation().auto_mitigate) return;
-  const std::string key = alert.dedup_key();
+  const AlertKey key = alert.key();
   if (by_key_.contains(key)) return;  // already being mitigated
 
   MitigationRecord record;

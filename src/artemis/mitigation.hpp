@@ -77,8 +77,11 @@ class MitigationService {
   std::vector<Controller*> helpers_controllers_;
   std::vector<MitigationHandler> handlers_;
   std::vector<MitigationRecord> records_;
-  /// Dedup: one mitigation per hijack key.
-  std::unordered_map<std::string, std::size_t> by_key_;
+  /// Dedup: one mitigation per hijack. Keyed by the same POD AlertKey the
+  /// detection service dedups on, so the two services agree on what "the
+  /// same hijack" means and a repeat alert costs one hash probe, not a
+  /// dedup_key() string materialization.
+  std::unordered_map<AlertKey, std::size_t, AlertKeyHash> by_key_;
 };
 
 }  // namespace artemis::core

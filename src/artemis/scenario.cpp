@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "journal/reader.hpp"
+#include "journal/replay.hpp"
 #include "util/strings.hpp"
 
 namespace artemis::core {
@@ -115,6 +117,15 @@ Scenario load_scenario(const json::Value& doc) {
       experiment.get_bool("detect_fake_first_hop", false);
   params.app.controller_latency =
       SimDuration::seconds(experiment.get_number("controller_latency_s", 15.0));
+  const std::int64_t shards = experiment.get_int("detection_shards", 1);
+  if (shards < 1 || shards > 1024) {
+    throw std::invalid_argument("detection_shards out of range [1, 1024]: " +
+                                std::to_string(shards));
+  }
+  params.app.detection_shards = static_cast<std::size_t>(shards);
+  // Observation flight recorder: record every hub delivery to this
+  // directory (replayable with scenario_runner --replay).
+  params.app.journal_dir = experiment.get_string("journal_dir", "");
   return scenario;
 }
 
@@ -126,6 +137,76 @@ ExperimentResult Scenario::run() const {
   Rng rng(seed);
   HijackExperiment experiment(graph, network, this->experiment, rng.fork("experiment"));
   return experiment.run();
+}
+
+json::Value replay_scenario_journal(const Scenario& scenario,
+                                    const std::string& journal_dir,
+                                    ReplayRunOptions options) {
+  // The restarted-monitor configuration: a fresh app with the recording
+  // run's exact ground truth (same helper recruitment, same owned-prefix
+  // config), no recording tap, no live feeds — the journal is the only
+  // observation source, so the simulator drains once replay (and any
+  // mitigation it triggers) has run its course.
+  ExperimentParams params = scenario.experiment;
+  params.app.journal_dir.clear();
+  if (options.detection_shards > 0) {
+    params.app.detection_shards = options.detection_shards;
+  }
+  const auto helpers = recruit_helpers(scenario.graph, params);
+  Config config = build_experiment_config(scenario.graph, params, helpers);
+  Rng rng(scenario.seed);
+  sim::Network network(scenario.graph, scenario.network, rng.fork("network"));
+  ArtemisApp app(std::move(config), network, params.victim, params.app);
+  const auto helper_controllers =
+      wire_helpers(app, network, helpers, params.app.controller_latency);
+
+  journal::JournalReader reader(journal_dir);
+  journal::ReplayOptions replay_options;
+  replay_options.batch_size = options.batch_size;
+  replay_options.speedup = options.speedup > 0.0 ? options.speedup : 1.0;
+  journal::ReplayFeed replay(reader, replay_options);
+  if (options.speedup > 0.0) {
+    auto& sim = network.simulator();
+    replay.schedule(sim, app.hub().batch_inlet());
+    sim.run_all();
+  } else {
+    replay.replay_all(app.hub());
+    // Replay-triggered mitigation scheduled controller/BGP events on the
+    // sim; drain them so both replay modes leave the same network state.
+    network.simulator().run_all();
+  }
+
+  json::Object out;
+  out["replayed"] = json::Value(static_cast<std::int64_t>(replay.replayed()));
+  out["segments"] = json::Value(static_cast<std::int64_t>(reader.segment_count()));
+  out["truncated_tail"] = json::Value(reader.truncated_tail());
+  out["detection_shards"] =
+      json::Value(static_cast<std::int64_t>(params.app.detection_shards));
+
+  json::Array alerts;
+  for (const auto& alert : app.sharded_detection().merged_alerts()) {
+    json::Object entry;
+    entry["type"] = json::Value(std::string(to_string(alert.type)));
+    entry["owned_prefix"] = json::Value(alert.owned_prefix.to_string());
+    entry["observed_prefix"] = json::Value(alert.observed_prefix.to_string());
+    entry["offender"] = json::Value(static_cast<std::int64_t>(alert.offender));
+    entry["path"] = json::Value(alert.observed_path.to_string());
+    entry["vantage"] = json::Value(static_cast<std::int64_t>(alert.vantage));
+    entry["source"] = json::Value(alert.source);
+    entry["event_time_s"] = json::Value(alert.event_time.as_seconds());
+    entry["detected_at_s"] = json::Value(alert.detected_at.as_seconds());
+    alerts.emplace_back(std::move(entry));
+  }
+  out["alerts"] = json::Value(std::move(alerts));
+
+  json::Object per_source;
+  for (const auto& [source, count] : app.hub().per_source_counts()) {
+    per_source[source] = json::Value(static_cast<std::int64_t>(count));
+  }
+  out["observations_by_source"] = json::Value(std::move(per_source));
+  out["mitigations"] =
+      json::Value(static_cast<std::int64_t>(app.mitigation().records().size()));
+  return json::Value(std::move(out));
 }
 
 json::Value result_to_json(const ExperimentResult& result) {

@@ -58,4 +58,25 @@ Scenario load_scenario_text(std::string_view text);
 /// Serializes a result for machine consumption (the CLI's output).
 json::Value result_to_json(const ExperimentResult& result);
 
+struct ReplayRunOptions {
+  /// 0 = as fast as possible (no simulator pacing); > 0 = time-warped
+  /// replay at this multiple of the recorded pacing.
+  double speedup = 0.0;
+  /// Overrides the scenario's detection_shards when set (> 0) — the
+  /// determinism headline: any shard count yields identical output.
+  std::size_t detection_shards = 0;
+  std::size_t batch_size = 1024;
+};
+
+/// Replays a recorded observation journal through a fresh app built from
+/// this scenario's config (same ground truth, detection and mitigation
+/// wiring — but no live simulation driving the feeds). Returns the
+/// replayed detection/mitigation view as JSON: because detection is
+/// deterministic in the delivered stream, this must match the recording
+/// run's alerts bit-for-bit, for any shard count or replay speed.
+/// Throws journal::JournalError on a damaged journal.
+json::Value replay_scenario_journal(const Scenario& scenario,
+                                    const std::string& journal_dir,
+                                    ReplayRunOptions options = {});
+
 }  // namespace artemis::core

@@ -51,6 +51,13 @@ class AsPath {
   std::size_t length() const { return hops_.size(); }
   const std::vector<Asn>& hops() const { return hops_; }
 
+  /// Replaces the hops in place, reusing existing capacity. The journal
+  /// decoder assigns into recycled observations on the replay hot path,
+  /// where constructing a fresh AsPath would allocate per record.
+  void assign(const Asn* hops, std::size_t count) {
+    hops_.assign(hops, hops + count);
+  }
+
   /// The originating AS (rightmost); kNoAsn on an empty path.
   Asn origin_as() const { return hops_.empty() ? kNoAsn : hops_.back(); }
 

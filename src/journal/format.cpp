@@ -1,0 +1,132 @@
+#include "journal/format.hpp"
+
+#include <cstring>
+
+namespace artemis::journal {
+namespace {
+
+// ------------------------------------------------------------- CRC-32C
+
+/// Slicing-by-8 tables for the reflected Castagnoli polynomial. Table 0
+/// is the classic byte-at-a-time table; table k extends it to bytes k
+/// positions deeper, letting the hot loop fold 8 bytes per step.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables kCrcTables;
+
+std::uint32_t crc32c_sw(const std::uint8_t* data, std::size_t size) {
+  const auto& t = kCrcTables.t;
+  std::uint32_t crc = ~0u;
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    data += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *data++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const std::uint8_t* data,
+                                                          std::size_t size) {
+  std::uint64_t crc = ~0u;
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data, 8);
+    crc = __builtin_ia32_crc32di(crc, word);
+    data += 8;
+    size -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  while (size-- > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *data++);
+  }
+  return ~crc32;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return crc32c_hw(data, size);
+#endif
+  return crc32c_sw(data, size);
+}
+
+namespace {
+
+// Header layout (little-endian):
+//   0  u32 magic
+//   4  u16 version
+//   6  u16 reserved (0)
+//   8  u64 first_seq
+//  16  i64 base_time_us
+//  24  u32 crc32 of bytes [0, 24)
+//  28  u32 reserved (0)
+
+void store_le(std::uint8_t* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t load_le(const std::uint8_t* in, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void SegmentHeader::encode(std::uint8_t out[kSegmentHeaderSize]) const {
+  std::memset(out, 0, kSegmentHeaderSize);
+  store_le(out + 0, kSegmentMagic, 4);
+  store_le(out + 4, version, 2);
+  store_le(out + 8, first_seq, 8);
+  store_le(out + 16, static_cast<std::uint64_t>(base_time_us), 8);
+  store_le(out + 24, crc32(out, 24), 4);
+}
+
+SegmentHeader SegmentHeader::decode(const std::uint8_t in[kSegmentHeaderSize],
+                                    const std::string& file) {
+  if (load_le(in + 0, 4) != kSegmentMagic) {
+    throw JournalError(file + ": not a journal segment (bad magic)");
+  }
+  if (load_le(in + 24, 4) != crc32(in, 24)) {
+    throw JournalError(file + ": segment header CRC mismatch");
+  }
+  SegmentHeader header;
+  header.version = static_cast<std::uint16_t>(load_le(in + 4, 2));
+  header.first_seq = load_le(in + 8, 8);
+  header.base_time_us = static_cast<std::int64_t>(load_le(in + 16, 8));
+  return header;
+}
+
+}  // namespace artemis::journal

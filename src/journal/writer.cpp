@@ -1,0 +1,199 @@
+#include "journal/writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace artemis::journal {
+namespace {
+
+std::string segment_path(const std::string& dir, std::uint64_t first_seq) {
+  char name[32];  // kSegmentPrefix + 16 hex digits + kSegmentSuffix
+  std::snprintf(name, sizeof(name), "seg-%016llx.aj",
+                static_cast<unsigned long long>(first_seq));
+  return dir + "/" + name;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw JournalError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(std::string dir, JournalWriterOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw JournalError("cannot create journal directory " + dir_ + ": " +
+                       ec.message());
+  }
+  buffer_.reserve(options_.buffer_bytes + (64u << 10));
+  resume_existing();
+  open_segment();
+}
+
+void JournalWriter::resume_existing() {
+  // A restarted monitor reuses its journal_dir: find where the recorded
+  // sequence ends, drop any torn tail the crash left, and continue in a
+  // NEW segment (appending into the old one is impossible — its encoder
+  // state died with the writer; segments decode standalone by design).
+  namespace fs = std::filesystem;
+  std::string last_path;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (is_segment_file_name(name) && entry.path().string() > last_path) {
+      last_path = entry.path().string();
+    }
+  }
+  if (last_path.empty()) return;
+
+  std::FILE* file = std::fopen(last_path.c_str(), "rb");
+  if (file == nullptr) throw JournalError("cannot open journal segment " + last_path);
+  std::fseek(file, 0, SEEK_END);
+  const long file_size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(file_size > 0 ? static_cast<std::size_t>(file_size)
+                                               : 0);
+  const bool ok =
+      data.empty() || std::fread(data.data(), 1, data.size(), file) == data.size();
+  std::fclose(file);
+  if (!ok) throw JournalError("short read on journal segment " + last_path);
+
+  // The file name encodes first_seq; it is the fallback identity when a
+  // crash tore the write before the header itself was complete.
+  const std::string name = fs::path(last_path).filename().string();
+  std::uint64_t first_seq =
+      std::stoull(name.substr(kSegmentPrefix.size(), 16), nullptr, 16);
+  std::size_t complete_end = 0;
+  std::uint64_t records = 0;
+  if (data.size() >= kSegmentHeaderSize) {
+    const SegmentHeader header = SegmentHeader::decode(data.data(), last_path);
+    if (header.version != kFormatVersion) {
+      throw JournalError(last_path + ": cannot resume a journal written with "
+                         "format version " + std::to_string(header.version));
+    }
+    if (header.first_seq != first_seq) {
+      throw JournalError(last_path + ": header sequence " +
+                         std::to_string(header.first_seq) +
+                         " disagrees with the file name");
+    }
+    // Walk the frames to the last complete record (next_frame is the
+    // same step the reader takes, so resume and recovery agree on what
+    // counts as complete); whatever follows is a torn tail to discard.
+    const std::uint8_t* cursor = data.data() + kSegmentHeaderSize;
+    const std::uint8_t* const end = data.data() + data.size();
+    const std::uint8_t* payload = nullptr;
+    std::uint64_t length = 0;
+    while (next_frame(cursor, end, payload, length)) {
+      complete_end = static_cast<std::size_t>(cursor - data.data());
+      ++records;
+    }
+  }
+
+  if (records == 0) {
+    // Header-only (or torn-before-header) segment: reclaim its slot so
+    // the new segment can take the same first_seq without colliding.
+    fs::remove(last_path);
+  } else if (complete_end < data.size()) {
+    std::error_code ec;
+    fs::resize_file(last_path, complete_end, ec);
+    if (ec) {
+      throw JournalError("cannot truncate torn tail of " + last_path + ": " +
+                         ec.message());
+    }
+  }
+  next_seq_ = first_seq + records;
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; a failed final flush loses buffered
+    // records, which the durability model already allows for crashes.
+  }
+}
+
+void JournalWriter::open_segment() {
+  const std::string path = segment_path(dir_, next_seq_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) throw_errno("cannot create journal segment " + path);
+  ++segments_;
+  segment_written_ = 0;
+
+  SegmentHeader header;
+  header.first_seq = next_seq_;
+  header.base_time_us = last_delivered_us_;
+  std::uint8_t raw[kSegmentHeaderSize];
+  header.encode(raw);
+  buffer_.insert(buffer_.end(), raw, raw + kSegmentHeaderSize);
+  encoder_.reset();  // segments decode standalone
+}
+
+void JournalWriter::write_buffer() {
+  // buffer_consumed_ persists across calls: if write(2) fails mid-loop
+  // (ENOSPC and the like) and the caller retries after the condition
+  // clears, the retry resumes exactly where the last write stopped —
+  // re-writing the already-flushed prefix would splice duplicate bytes
+  // into the segment and corrupt every record after them.
+  while (buffer_consumed_ < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + buffer_consumed_,
+                              buffer_.size() - buffer_consumed_);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("journal write failed in " + dir_);
+    }
+    buffer_consumed_ += static_cast<std::size_t>(n);
+    segment_written_ += static_cast<std::size_t>(n);
+    total_bytes_ += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  buffer_consumed_ = 0;
+}
+
+void JournalWriter::append_batch(std::span<const feeds::Observation> batch) {
+  if (closed_) throw JournalError("append on a closed JournalWriter (" + dir_ + ")");
+  if (batch.empty()) return;
+  for (const auto& obs : batch) {
+    encoder_.encode(obs, buffer_);
+    ++next_seq_;
+    ++records_;
+    last_delivered_us_ = obs.delivered_at.as_micros();
+  }
+  if (buffer_.size() >= options_.buffer_bytes) write_buffer();
+  // Rotation is a batch-boundary event so the steady state inside one
+  // segment stays allocation-free.
+  if (segment_written_ + buffer_.size() >= options_.segment_bytes) {
+    write_buffer();
+    // close(2) releases the descriptor even on failure: drop fd_ first
+    // so a throw cannot leave a dangling descriptor to double-close or
+    // write through later.
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) throw_errno("journal segment close failed in " + dir_);
+    open_segment();
+  }
+}
+
+void JournalWriter::flush() {
+  if (closed_) return;
+  write_buffer();
+}
+
+void JournalWriter::close() {
+  if (closed_) return;
+  write_buffer();
+  closed_ = true;
+  if (fd_ >= 0 && ::close(fd_) != 0) {
+    fd_ = -1;
+    throw_errno("journal segment close failed in " + dir_);
+  }
+  fd_ = -1;
+}
+
+}  // namespace artemis::journal

@@ -1,0 +1,107 @@
+// JournalWriter: the flight recorder's append side.
+//
+// Taps a MonitorHub's batch stream (or is fed directly) and appends every
+// observation to the current segment file, rotating to a new segment once
+// the configured size is exceeded. All encoding goes through one reusable
+// byte buffer that is handed to write(2) in large chunks, so the steady
+// state — sources interned, buffer at its high-water capacity — performs
+// no heap allocations per batch: the hub's zero-allocation contract
+// extends through the tap (tests/detection_alloc_test.cpp).
+//
+// Durability model: records become readable once flush()ed (or when the
+// buffer fills); a crash between flushes loses only buffered records and
+// can tear at most the final record on disk, which the reader's
+// truncated-tail recovery drops cleanly. close() (or destruction)
+// flushes everything.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "feeds/monitor_hub.hpp"
+#include "feeds/observation.hpp"
+#include "journal/codec.hpp"
+
+namespace artemis::journal {
+
+struct JournalWriterOptions {
+  /// Rotate to a new segment once the current one reaches this many
+  /// bytes (checked at batch boundaries; segments overshoot by at most
+  /// one batch).
+  std::size_t segment_bytes = 64u << 20;
+  /// Buffered encode bytes before a write(2). Batches stage in memory up
+  /// to this amount; flush() forces the write.
+  std::size_t buffer_bytes = 256u << 10;
+};
+
+class JournalWriter {
+ public:
+  /// Creates `dir` (and parents) if needed and opens a segment. When the
+  /// directory already holds a journal (the restarted-monitor case), the
+  /// writer RESUMES it: a torn tail left by a crash is truncated away
+  /// and recording continues in a fresh segment at the next sequence
+  /// number, so readers see one contiguous history. Throws JournalError
+  /// when the directory/segment cannot be created or the existing
+  /// journal was written by a different format version.
+  explicit JournalWriter(std::string dir, JournalWriterOptions options = {});
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends a batch (usually called via the hub tap). Not thread-safe:
+  /// one writer belongs to one hub's delivery thread.
+  void append_batch(std::span<const feeds::Observation> batch);
+
+  void append(const feeds::Observation& obs) { append_batch({&obs, 1}); }
+
+  /// A batch handler that records into this writer — subscribe it to any
+  /// feed or hub. The writer must outlive the subscription's use.
+  feeds::ObservationBatchHandler tap() {
+    return [this](std::span<const feeds::Observation> batch) {
+      append_batch(batch);
+    };
+  }
+
+  /// Subscribes the tap to a hub's batch stream.
+  void attach(feeds::MonitorHub& hub) { hub.subscribe_batch(tap()); }
+
+  /// Writes all buffered records to the current segment file.
+  void flush();
+
+  /// flush() + close the segment. Idempotent; further appends throw.
+  void close();
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t records_written() const { return records_; }
+  std::uint64_t segments_opened() const { return segments_; }
+  /// Encoded bytes handed to the OS so far (excludes buffered bytes).
+  std::uint64_t bytes_written() const { return total_bytes_; }
+  /// Sequence number the next record will get.
+  std::uint64_t next_sequence() const { return next_seq_; }
+
+ private:
+  /// Continues an existing journal in `dir_`: computes the resume
+  /// sequence from the last segment and truncates its torn tail, if any.
+  void resume_existing();
+  void open_segment();
+  void write_buffer();
+
+  std::string dir_;
+  JournalWriterOptions options_;
+  RecordEncoder encoder_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t buffer_consumed_ = 0;  ///< buffer_ prefix already written out
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t segment_written_ = 0;  ///< bytes written to current segment
+  std::int64_t last_delivered_us_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t segments_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace artemis::journal

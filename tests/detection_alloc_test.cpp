@@ -1,8 +1,9 @@
 // Asserts the detection hot path's zero-allocation invariant: once a
 // hijack has been seen (its record exists), re-processing matching or
 // non-matching observations performs no heap allocations at all — via
-// process(), process_batch(), the MonitorHub batch fan-out, and the
-// sharded pipeline's inline dispatch.
+// process(), process_batch(), the MonitorHub batch fan-out, the sharded
+// pipeline's inline dispatch, and the journal writer tap (recording to
+// disk while detecting).
 //
 // The assertion works by replacing the global operator new/delete with
 // counting wrappers, which is why this test lives in its own binary (see
@@ -11,11 +12,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <vector>
 
 #include "artemis/detection.hpp"
 #include "feeds/monitor_hub.hpp"
+#include "journal/writer.hpp"
 #include "pipeline/sharded_detector.hpp"
 
 namespace {
@@ -186,6 +189,48 @@ TEST(DetectionAllocTest, SteadyStateHubBatchFanOutIsAllocationFree) {
   EXPECT_EQ(after - before, 0u) << "steady-state MonitorHub::publish_batch allocated";
   EXPECT_EQ(hub.total_observations(), 8u * 10001u);
   EXPECT_EQ(hub.source_count("ris-live"), 8u * 10001u);
+}
+
+TEST(DetectionAllocTest, SteadyStateJournalTapIsAllocationFree) {
+  // Recording must not tax the hot path: with a JournalWriter tapped into
+  // the hub, steady-state publish_batch (detection + on-disk append)
+  // still performs zero heap allocations. The writer's encode buffer and
+  // interned source table reach their high-water marks during priming;
+  // after that every batch is varint-encoded into recycled storage and
+  // handed to write(2).
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+  feeds::MonitorHub hub;
+  detector.attach(hub);
+
+  const std::string dir = ::testing::TempDir() + "artemis_journal_alloc_tap";
+  std::filesystem::remove_all(dir);
+  journal::JournalWriter writer(dir);
+  writer.attach(hub);
+
+  std::vector<feeds::Observation> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100 + i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_obs("203.0.113.0/24", {9, 667}, "bgpmon", 104 + i));
+  }
+  hub.publish_batch(batch);  // prime: interns sources, creates the record
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) hub.publish_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state journal tap (hub publish_batch + writer append) allocated";
+
+  writer.close();
+  EXPECT_EQ(writer.records_written(), 8u * 10001u);
+  EXPECT_GT(writer.bytes_written(), 0u);
+  EXPECT_EQ(hub.total_observations(), 8u * 10001u);
 }
 
 TEST(DetectionAllocTest, SteadyStateShardedInlineSubmitIsAllocationFree) {

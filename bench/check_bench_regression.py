@@ -3,27 +3,29 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json \
-        [--benchmark BM_TrieLpmLookup] [--threshold 0.25]
+        [--benchmark BM_TrieLpmLookup] [--benchmark BM_BatchPath ...] \
+        [--threshold 0.25]
 
 Compares cpu_time of every benchmark entry in CURRENT whose name starts
-with --benchmark against the same-named entry in BASELINE (produced by
-record_bench.sh on comparable hardware). Exits non-zero when any entry
-regressed by more than --threshold (fraction, default 0.25 = 25%).
-Entries present on only one side are reported but do not fail the gate
-(benchmarks come and go across PRs).
+with any --benchmark prefix (repeatable; default BM_TrieLpmLookup)
+against the same-named entry in BASELINE (produced by record_bench.sh on
+comparable hardware). Exits non-zero when any entry regressed by more
+than --threshold (fraction, default 0.25 = 25%). Entries present on only
+one side are reported but do not fail the gate (benchmarks come and go
+across PRs).
 """
 import argparse
 import json
 import sys
 
 
-def load_times(path: str, prefix: str) -> dict[str, float]:
+def load_times(path: str, prefixes: list[str]) -> dict[str, float]:
     with open(path) as f:
         report = json.load(f)
     times = {}
     for entry in report.get("benchmarks", []):
         name = entry.get("name", "")
-        if not name.startswith(prefix):
+        if not any(name.startswith(prefix) for prefix in prefixes):
             continue
         if entry.get("run_type") == "aggregate":
             continue
@@ -35,19 +37,21 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
-    parser.add_argument("--benchmark", default="BM_TrieLpmLookup",
-                        help="benchmark name prefix to gate on")
+    parser.add_argument("--benchmark", action="append", default=None,
+                        help="benchmark name prefix to gate on (repeatable)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed slowdown as a fraction")
     args = parser.parse_args()
+    prefixes = args.benchmark if args.benchmark else ["BM_TrieLpmLookup"]
+    label = ", ".join(f"{p}*" for p in prefixes)
 
-    base = load_times(args.baseline, args.benchmark)
-    curr = load_times(args.current, args.benchmark)
+    base = load_times(args.baseline, prefixes)
+    curr = load_times(args.current, prefixes)
     if not base:
-        print(f"baseline has no '{args.benchmark}*' entries; nothing to gate")
+        print(f"baseline has no '{label}' entries; nothing to gate")
         return 0
     if not curr:
-        print(f"error: current report has no '{args.benchmark}*' entries",
+        print(f"error: current report has no '{label}' entries",
               file=sys.stderr)
         return 1
 
@@ -68,7 +72,7 @@ def main() -> int:
 
     if failed:
         print(f"FAIL: regression beyond {args.threshold * 100.0:.0f}% "
-              f"on '{args.benchmark}*'", file=sys.stderr)
+              f"on '{label}'", file=sys.stderr)
         return 1
     print("bench regression gate passed")
     return 0

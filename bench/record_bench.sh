@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Records one point of the tracked bench trajectory (ROADMAP): runs
-# bench_micro, bench_pipeline and bench_journal with
+# bench_micro, bench_pipeline, bench_journal and bench_mrt_import with
 # --benchmark_format=json and merges the reports into BENCH_<n>.json,
 # where <n> auto-increments per output directory. CI runs this and gates
 # on bench/check_bench_regression.py.
@@ -14,7 +14,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench/results}"
 MIN_TIME="${BENCH_MIN_TIME:-0.05}"
 
-BINS=(bench_micro bench_pipeline bench_journal)
+BINS=(bench_micro bench_pipeline bench_journal bench_mrt_import)
 for bin in "${BINS[@]}"; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need google-benchmark)" >&2

@@ -13,6 +13,11 @@
 //                   as possible, no pacing)
 //   --shards N      with --replay: override detection_shards — replayed
 //                   output is bit-identical for any N
+//   --import-mrt    import mode: the positional arguments are MRT files
+//                   (not a scenario); convert them into the journal named
+//                   by --journal DIR, then exit. Pair with a later
+//                   --replay run to push an archived window through
+//                   detection. (tools/mrt2journal exposes more knobs.)
 //
 //   Without a scenario argument a built-in demonstration scenario runs:
 //   a /24 victim defended by three outsourced helpers under a Type-1
@@ -23,8 +28,10 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "artemis/scenario.hpp"
+#include "mrt/observation_convert.hpp"
 
 using namespace artemis;
 
@@ -49,7 +56,8 @@ constexpr std::string_view kDefaultScenario = R"({
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
                "usage: scenario_runner [scenario.json] [--journal DIR] "
-               "[--replay DIR [--warp N] [--shards N]]\n");
+               "[--replay DIR [--warp N] [--shards N]] | "
+               "--import-mrt <file.mrt...> --journal DIR\n");
   std::exit(2);
 }
 
@@ -61,6 +69,8 @@ int main(int argc, char** argv) {
   std::string replay_dir;
   core::ReplayRunOptions replay_options;
   bool scenario_given = false;
+  bool import_mrt = false;
+  std::vector<std::string> mrt_files;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -70,6 +80,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--journal") {
       journal_dir = flag_value("--journal");
+    } else if (arg == "--import-mrt") {
+      import_mrt = true;
     } else if (arg == "--replay") {
       replay_dir = flag_value("--replay");
     } else if (arg == "--warp") {
@@ -90,6 +102,8 @@ int main(int argc, char** argv) {
       replay_options.detection_shards = static_cast<std::size_t>(shards);
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error(("unknown option " + std::string(arg)).c_str());
+    } else if (import_mrt) {
+      mrt_files.emplace_back(arg);
     } else if (scenario_given) {
       usage_error("more than one scenario file given");
     } else {
@@ -112,6 +126,30 @@ int main(int argc, char** argv) {
   }
   if (!replay_dir.empty() && !journal_dir.empty()) {
     usage_error("--journal cannot be combined with --replay");
+  }
+  if (import_mrt) {
+    // Import mode: MRT files -> journal, no simulation. Flags that only
+    // make sense for a live or replayed run are rejected, not ignored.
+    if (scenario_given) usage_error("--import-mrt must precede the MRT file list");
+    if (!replay_dir.empty()) usage_error("--import-mrt cannot be combined with --replay");
+    if (journal_dir.empty()) usage_error("--import-mrt requires --journal DIR");
+    if (mrt_files.empty()) usage_error("--import-mrt needs at least one MRT file");
+    try {
+      const auto imported = mrt::import_mrt_files(mrt_files, journal_dir);
+      for (const auto& err : imported.file_errors) {
+        std::fprintf(stderr, "warning: %s\n", err.c_str());
+      }
+      std::fprintf(stderr, "imported %llu records (%llu observations) into %s\n",
+                   static_cast<unsigned long long>(imported.records),
+                   static_cast<unsigned long long>(imported.observations),
+                   journal_dir.c_str());
+      std::printf("%s\n",
+                  mrt::import_result_to_json(journal_dir, imported).dump(2).c_str());
+      return (imported.truncated_files > 0 || imported.failed_files > 0) ? 3 : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   if (!scenario_given) {
     std::fprintf(stderr, "(no scenario given; running the built-in demo scenario)\n");

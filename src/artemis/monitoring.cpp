@@ -7,10 +7,10 @@ namespace artemis::core {
 MonitoringService::MonitoringService(const Config& config) : config_(config) {}
 
 void MonitoringService::attach(feeds::MonitorHub& hub) {
-  // Batch subscription: one handler call per delivered batch instead of
-  // one per observation; processing stays per-observation underneath.
+  // Batch-native subscription: one handler call AND one memoized lookup
+  // context per delivered batch (see process_batch).
   hub.subscribe_batch([this](std::span<const feeds::Observation> batch) {
-    for (const auto& obs : batch) process(obs);
+    process_batch(batch);
   });
 }
 
@@ -33,10 +33,34 @@ bool MonitoringService::compute_legitimate(const VantageView& view,
 }
 
 void MonitoringService::process(const feeds::Observation& obs) {
-  const OwnedPrefix* owned = config_.match(obs.prefix);
+  BatchCursor cursor;
+  process_one(obs, cursor);
+}
+
+void MonitoringService::process_batch(std::span<const feeds::Observation> batch) {
+  BatchCursor cursor;
+  for (const auto& obs : batch) process_one(obs, cursor);
+}
+
+void MonitoringService::process_one(const feeds::Observation& obs,
+                                    BatchCursor& cursor) {
+  // Owned-prefix match memo: archive windows repeat prefixes in bursts,
+  // and for the (typical) non-owned majority the memo also short-circuits
+  // the scan.
+  if (!cursor.prefix_valid || cursor.prefix != obs.prefix) {
+    cursor.owned = config_.match(obs.prefix);
+    cursor.prefix = obs.prefix;
+    cursor.prefix_valid = true;
+  }
+  const OwnedPrefix* owned = cursor.owned;
   if (owned == nullptr) return;
 
-  auto& view = vantages_[obs.vantage];
+  // Per-vantage view memo: one map walk per run of equal vantages.
+  if (cursor.view == nullptr || cursor.vantage != obs.vantage) {
+    cursor.view = &vantages_[obs.vantage];
+    cursor.vantage = obs.vantage;
+  }
+  auto& view = *cursor.view;
   if (obs.type == feeds::ObservationType::kWithdrawal) {
     view.routes.erase(obs.prefix);
   } else {

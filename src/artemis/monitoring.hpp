@@ -41,6 +41,14 @@ class MonitoringService {
   void attach(feeds::MonitorHub& hub);
   void process(const feeds::Observation& obs);
 
+  /// Batch-aware processing: semantics identical to calling process()
+  /// per observation (every intermediate legitimacy flip is still
+  /// recorded), but the owned-prefix match and the per-vantage view
+  /// lookup are memoized across the batch — archive windows arrive as
+  /// long runs of one vantage and bursts of one prefix, so the steady
+  /// state does one map walk per run instead of one per observation.
+  void process_batch(std::span<const feeds::Observation> batch);
+
   /// Current legitimacy of one vantage for one owned prefix; nullopt if
   /// the vantage has no data covering it yet.
   std::optional<bool> vantage_legitimate(bgp::Asn vantage,
@@ -67,6 +75,19 @@ class MonitoringService {
     /// Observed routes overlapping owned space: prefix -> origin AS.
     net::PrefixTrie<bgp::Asn> routes;
   };
+
+  /// Lookups memoized across one batch (map node pointers are stable
+  /// under unrelated insertions, so caching them across observations is
+  /// safe; a fresh cursor per call keeps process() behavior unchanged).
+  struct BatchCursor {
+    bgp::Asn vantage = bgp::kNoAsn;
+    VantageView* view = nullptr;
+    bool prefix_valid = false;
+    net::Prefix prefix;
+    const OwnedPrefix* owned = nullptr;
+  };
+
+  void process_one(const feeds::Observation& obs, BatchCursor& cursor);
 
   /// Sample addresses whose LPM decides legitimacy for `owned` (the two
   /// half-prefix bases, so post-mitigation /24s are judged correctly).

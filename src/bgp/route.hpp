@@ -20,6 +20,19 @@ struct PathAttributes {
   std::uint32_t med = 0;
   std::vector<Community> communities;
 
+  /// Restores the default-constructed values IN PLACE, keeping the
+  /// path/community vector capacity — the reset the MRT decoders apply
+  /// to recycled scratch/observation slots on the import hot path. Keep
+  /// in sync with the member initializers above (it is the only other
+  /// place the defaults are spelled).
+  void reset() {
+    as_path.clear();
+    origin = Origin::kIgp;
+    local_pref = 100;
+    med = 0;
+    communities.clear();
+  }
+
   auto operator<=>(const PathAttributes&) const = default;
 };
 

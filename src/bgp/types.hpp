@@ -55,8 +55,16 @@ class AsPath {
   /// decoder assigns into recycled observations on the replay hot path,
   /// where constructing a fresh AsPath would allocate per record.
   void assign(const Asn* hops, std::size_t count) {
+    if (count == 0) {
+      hops_.clear();
+      return;
+    }
     hops_.assign(hops, hops + count);
   }
+
+  /// Empties the path in place, keeping capacity (recycled observation
+  /// slots on the import/replay hot paths).
+  void clear() { hops_.clear(); }
 
   /// The originating AS (rightmost); kNoAsn on an empty path.
   Asn origin_as() const { return hops_.empty() ? kNoAsn : hops_.back(); }

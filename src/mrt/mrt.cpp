@@ -1,5 +1,6 @@
 #include "mrt/mrt.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace artemis::mrt {
@@ -15,6 +16,7 @@ constexpr std::uint8_t kAttrNextHop = 3;
 constexpr std::uint8_t kAttrMed = 4;
 constexpr std::uint8_t kAttrLocalPref = 5;
 constexpr std::uint8_t kAttrCommunity = 8;
+constexpr std::uint8_t kAttrAs4Path = 17;
 
 // Attribute flag bits.
 constexpr std::uint8_t kFlagOptional = 0x80;
@@ -22,22 +24,6 @@ constexpr std::uint8_t kFlagTransitive = 0x40;
 constexpr std::uint8_t kFlagExtendedLen = 0x10;
 
 constexpr std::uint8_t kAsSequence = 2;
-
-void write_nlri_prefix(ByteWriter& w, const net::Prefix& p) {
-  w.u8(static_cast<std::uint8_t>(p.length()));
-  const int nbytes = (p.length() + 7) / 8;
-  w.bytes(std::span(p.address().bytes().data(), static_cast<std::size_t>(nbytes)));
-}
-
-net::Prefix read_nlri_prefix(ByteReader& r, net::IpFamily family) {
-  const int len = r.u8();
-  if (len > family_bits(family)) throw DecodeError("NLRI prefix length out of range");
-  const int nbytes = (len + 7) / 8;
-  std::uint8_t buf[16] = {};
-  const auto raw = r.bytes(static_cast<std::size_t>(nbytes));
-  std::memcpy(buf, raw.data(), raw.size());
-  return net::Prefix(net::IpAddress::from_bytes(family, buf), len);
-}
 
 void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
                        std::size_t len) {
@@ -52,20 +38,32 @@ void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
   }
 }
 
-}  // namespace
-
-void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
+/// Shared by the AS4 and pre-AS4 encoders: `two_byte_as_path` writes
+/// 16-bit AS_PATH hops (AS_TRANS for wide ASNs) and appends an AS4_PATH
+/// attribute carrying the true path when any hop was squashed.
+void encode_attrs(ByteWriter& w, const bgp::PathAttributes& attrs,
+                  bool two_byte_as_path) {
   // ORIGIN
   write_attr_header(w, kFlagTransitive, kAttrOrigin, 1);
   w.u8(static_cast<std::uint8_t>(attrs.origin));
-  // AS_PATH: one AS_SEQUENCE segment, 4-byte ASNs (AS4 format).
+  // AS_PATH: one AS_SEQUENCE segment.
+  const auto& hops = attrs.as_path.hops();
+  bool needs_as4 = false;
   {
-    const auto& hops = attrs.as_path.hops();
-    const std::size_t seg_len = 2 + 4 * hops.size();
+    const std::size_t hop_bytes = two_byte_as_path ? 2 : 4;
+    const std::size_t seg_len = 2 + hop_bytes * hops.size();
     write_attr_header(w, kFlagTransitive, kAttrAsPath, seg_len);
     w.u8(kAsSequence);
     w.u8(static_cast<std::uint8_t>(hops.size()));
-    for (const auto asn : hops) w.u32(asn);
+    for (const auto asn : hops) {
+      if (two_byte_as_path) {
+        const bool wide = asn > 0xFFFF;
+        needs_as4 = needs_as4 || wide;
+        w.u16(static_cast<std::uint16_t>(wide ? kAsTrans : asn));
+      } else {
+        w.u32(asn);
+      }
+    }
   }
   // NEXT_HOP: not modeled at the AS level; encoded as 0.0.0.0 for wire
   // completeness and ignored on decode.
@@ -86,10 +84,46 @@ void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
       w.u16(c.value);
     }
   }
+  // AS4_PATH (RFC 6793): only when a wide ASN was replaced by AS_TRANS.
+  if (needs_as4) {
+    write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional | kFlagTransitive),
+                      kAttrAs4Path, 2 + 4 * hops.size());
+    w.u8(kAsSequence);
+    w.u8(static_cast<std::uint8_t>(hops.size()));
+    for (const auto asn : hops) w.u32(asn);
+  }
 }
 
-bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
-  bgp::PathAttributes attrs;
+}  // namespace
+
+void write_nlri_prefix(ByteWriter& w, const net::Prefix& p) {
+  w.u8(static_cast<std::uint8_t>(p.length()));
+  const int nbytes = (p.length() + 7) / 8;
+  w.bytes(std::span(p.address().bytes().data(), static_cast<std::size_t>(nbytes)));
+}
+
+net::Prefix read_nlri_prefix(ByteReader& r, net::IpFamily family) {
+  const int len = r.u8();
+  if (len > family_bits(family)) throw DecodeError("NLRI prefix length out of range");
+  const int nbytes = (len + 7) / 8;
+  std::uint8_t buf[16] = {};
+  const auto raw = r.bytes(static_cast<std::size_t>(nbytes));
+  std::memcpy(buf, raw.data(), raw.size());
+  return net::Prefix(net::IpAddress::from_bytes(family, buf), len);
+}
+
+void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
+  encode_attrs(w, attrs, /*two_byte_as_path=*/false);
+}
+
+void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& out,
+                                 bool two_byte_as_path,
+                                 std::vector<bgp::Asn>& hops_scratch,
+                                 std::vector<bgp::Asn>& as4_scratch) {
+  out.reset();
+  hops_scratch.clear();
+  as4_scratch.clear();
+  bool have_as4 = false;
   while (!attrs_reader.done()) {
     const std::uint8_t flags = attrs_reader.u8();
     const std::uint8_t type = attrs_reader.u8();
@@ -100,34 +134,45 @@ bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
       case kAttrOrigin: {
         const std::uint8_t o = body.u8();
         if (o > 2) throw DecodeError("bad ORIGIN value");
-        attrs.origin = static_cast<bgp::Origin>(o);
+        out.origin = static_cast<bgp::Origin>(o);
         break;
       }
       case kAttrAsPath: {
-        std::vector<bgp::Asn> hops;
         while (!body.done()) {
           const std::uint8_t seg_type = body.u8();
           const std::uint8_t count = body.u8();
           if (seg_type != kAsSequence) throw DecodeError("unsupported AS_PATH segment");
-          for (int i = 0; i < count; ++i) hops.push_back(body.u32());
+          for (int i = 0; i < count; ++i) {
+            hops_scratch.push_back(two_byte_as_path ? body.u16() : body.u32());
+          }
         }
-        attrs.as_path = bgp::AsPath(std::move(hops));
+        break;
+      }
+      case kAttrAs4Path: {
+        // Always 4-byte hops, regardless of the speaker's AS_PATH width.
+        while (!body.done()) {
+          const std::uint8_t seg_type = body.u8();
+          const std::uint8_t count = body.u8();
+          if (seg_type != kAsSequence) throw DecodeError("unsupported AS4_PATH segment");
+          for (int i = 0; i < count; ++i) as4_scratch.push_back(body.u32());
+        }
+        have_as4 = true;
         break;
       }
       case kAttrNextHop:
         break;  // intentionally ignored (AS-level model)
       case kAttrMed:
-        attrs.med = body.u32();
+        out.med = body.u32();
         break;
       case kAttrLocalPref:
-        attrs.local_pref = body.u32();
+        out.local_pref = body.u32();
         break;
       case kAttrCommunity: {
         while (!body.done()) {
           bgp::Community c;
           c.asn = body.u16();
           c.value = body.u16();
-          attrs.communities.push_back(c);
+          out.communities.push_back(c);
         }
         break;
       }
@@ -135,10 +180,33 @@ bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
         break;  // unknown attributes are skipped (already consumed by sub())
     }
   }
+  // RFC 6793 §4.2.3 merge: the AS4_PATH rewrites the tail of the AS_PATH;
+  // any excess leading AS_PATH hops (added by old speakers after the
+  // AS4_PATH was attached) are kept; an AS4_PATH longer than the AS_PATH
+  // is bogus and ignored wholesale. The merge only applies to 2-byte
+  // speakers: a 4-byte AS_PATH is already authoritative, and a stale
+  // propagated AS4_PATH riding along a MESSAGE_AS4 record must not
+  // overwrite it (§4.2.3 "NEW BGP speaker ... MUST NOT" consult it).
+  if (two_byte_as_path && have_as4 && as4_scratch.size() <= hops_scratch.size()) {
+    std::copy(as4_scratch.begin(), as4_scratch.end(),
+              hops_scratch.end() - static_cast<std::ptrdiff_t>(as4_scratch.size()));
+  }
+  out.as_path.assign(hops_scratch.data(), hops_scratch.size());
+}
+
+bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops;
+  std::vector<bgp::Asn> as4;
+  decode_path_attributes_into(attrs_reader, attrs, /*two_byte_as_path=*/false, hops,
+                              as4);
   return attrs;
 }
 
-std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
+namespace {
+
+std::vector<std::uint8_t> encode_bgp_update_impl(const bgp::UpdateMessage& update,
+                                                 bool two_byte_as_path) {
   ByteWriter w;
   // 16-byte marker of all ones.
   for (int i = 0; i < 16; ++i) w.u8(0xFF);
@@ -152,7 +220,7 @@ std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
   // Path attributes (omitted entirely for pure withdrawals).
   const std::size_t attrs_slot = w.reserve_u16();
   const std::size_t attrs_start = w.size();
-  if (!update.announced.empty()) encode_path_attributes(w, update.attrs);
+  if (!update.announced.empty()) encode_attrs(w, update.attrs, two_byte_as_path);
   w.patch_u16(attrs_slot, static_cast<std::uint16_t>(w.size() - attrs_start));
   // NLRI.
   for (const auto& p : update.announced) write_nlri_prefix(w, p);
@@ -160,7 +228,14 @@ std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
   return w.take();
 }
 
-bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender) {
+}  // namespace
+
+std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
+  return encode_bgp_update_impl(update, /*two_byte_as_path=*/false);
+}
+
+bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender,
+                                     bool two_byte_as_path) {
   for (int i = 0; i < 16; ++i) {
     if (reader.u8() != 0xFF) throw DecodeError("bad BGP marker");
   }
@@ -177,7 +252,11 @@ bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender) {
     update.withdrawn.push_back(read_nlri_prefix(withdrawn, net::IpFamily::kIpv4));
   }
   ByteReader attrs = body.sub(body.u16());
-  if (attrs.remaining() > 0) update.attrs = decode_path_attributes(attrs);
+  if (attrs.remaining() > 0) {
+    std::vector<bgp::Asn> hops;
+    std::vector<bgp::Asn> as4;
+    decode_path_attributes_into(attrs, update.attrs, two_byte_as_path, hops, as4);
+  }
   while (!body.done()) {
     update.announced.push_back(read_nlri_prefix(body, net::IpFamily::kIpv4));
   }
@@ -238,25 +317,47 @@ std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec) {
   return out.take();
 }
 
+std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec) {
+  const auto as2 = [](bgp::Asn asn) {
+    return static_cast<std::uint16_t>(asn > 0xFFFF ? kAsTrans : asn);
+  };
+  ByteWriter body;
+  body.u16(as2(rec.peer_asn));
+  body.u16(as2(rec.local_asn));
+  body.u16(0);  // interface index
+  body.u16(1);  // address family: IPv4
+  body.u32(rec.peer_ip.is_v4() ? rec.peer_ip.v4_value() : 0);
+  body.u32(0);  // local IP (collector); not modeled
+  const auto msg = encode_bgp_update_impl(rec.update, /*two_byte_as_path=*/true);
+  body.bytes(msg);
+
+  ByteWriter out;
+  write_raw_record(out, RecordType::kBgp4mpEt,
+                   static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage), rec.timestamp,
+                   body.data());
+  return out.take();
+}
+
 UpdateRecord decode_update_record(const RawRecord& raw) {
   if (raw.type != static_cast<std::uint16_t>(RecordType::kBgp4mpEt) &&
       raw.type != static_cast<std::uint16_t>(RecordType::kBgp4mp)) {
     throw DecodeError("not a BGP4MP record");
   }
-  if (raw.subtype != static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4)) {
+  const bool as4 = raw.subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4);
+  if (!as4 && raw.subtype != static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage)) {
     throw DecodeError("unsupported BGP4MP subtype");
   }
   ByteReader r(raw.body);
   UpdateRecord rec;
   rec.timestamp = raw.timestamp;
-  rec.peer_asn = r.u32();
-  rec.local_asn = r.u32();
+  rec.peer_asn = as4 ? r.u32() : r.u16();
+  rec.local_asn = as4 ? r.u32() : r.u16();
   r.u16();  // interface index
   const std::uint16_t afi = r.u16();
   if (afi != 1) throw DecodeError("only IPv4 BGP4MP supported");
   rec.peer_ip = net::IpAddress::v4(r.u32());
   r.u32();  // local IP
-  rec.update = decode_bgp_update(r, rec.peer_asn);
+  rec.update = decode_bgp_update(r, rec.peer_asn, /*two_byte_as_path=*/!as4);
   rec.update.sent_at = rec.timestamp;
   return rec;
 }
@@ -297,22 +398,37 @@ std::vector<std::uint8_t> encode_table_dump(const std::vector<RibEntryRecord>& e
                      static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable),
                      snapshot_time, body.data());
   }
-  // One RIB_IPV4_UNICAST record per entry (sequence numbers increase).
+  // One RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record per run of
+  // consecutive same-prefix entries — the real collector shape (one
+  // record per prefix carrying one entry per peer), which is also what
+  // makes RIB decode fast: the prefix parses once per record. Sequence
+  // numbers increase across both families, matching collector output.
   std::uint32_t sequence = 0;
-  for (const auto& ix : indexed) {
+  for (std::size_t i = 0; i < indexed.size();) {
+    const net::Prefix& prefix = indexed[i].rec->route.prefix;
+    std::size_t run_end = i + 1;
+    while (run_end < indexed.size() &&
+           indexed[run_end].rec->route.prefix == prefix) {
+      ++run_end;
+    }
     ByteWriter body;
     body.u32(sequence++);
-    write_nlri_prefix(body, ix.rec->route.prefix);
-    body.u16(1);  // entry count
-    body.u16(ix.peer);
-    body.u32(static_cast<std::uint32_t>(ix.rec->timestamp.as_micros() / 1'000'000));
-    const std::size_t attr_slot = body.reserve_u16();
-    const std::size_t attr_start = body.size();
-    encode_path_attributes(body, ix.rec->route.attrs);
-    body.patch_u16(attr_slot, static_cast<std::uint16_t>(body.size() - attr_start));
-    write_raw_record(out, RecordType::kTableDumpV2,
-                     static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast),
+    write_nlri_prefix(body, prefix);
+    body.u16(static_cast<std::uint16_t>(run_end - i));  // entry count
+    for (std::size_t k = i; k < run_end; ++k) {
+      const auto& ix = indexed[k];
+      body.u16(ix.peer);
+      body.u32(static_cast<std::uint32_t>(ix.rec->timestamp.as_micros() / 1'000'000));
+      const std::size_t attr_slot = body.reserve_u16();
+      const std::size_t attr_start = body.size();
+      encode_path_attributes(body, ix.rec->route.attrs);
+      body.patch_u16(attr_slot, static_cast<std::uint16_t>(body.size() - attr_start));
+    }
+    const auto subtype = prefix.is_v4() ? TableDumpV2Subtype::kRibIpv4Unicast
+                                        : TableDumpV2Subtype::kRibIpv6Unicast;
+    write_raw_record(out, RecordType::kTableDumpV2, static_cast<std::uint16_t>(subtype),
                      snapshot_time, body.data());
+    i = run_end;
   }
   return out.take();
 }

@@ -31,11 +31,20 @@ enum class RecordType : std::uint16_t {
 };
 
 /// Subtypes used by this implementation.
-enum class Bgp4mpSubtype : std::uint16_t { kMessageAs4 = 4 };
+enum class Bgp4mpSubtype : std::uint16_t {
+  kMessage = 1,     ///< 2-byte ASNs on the wire (pre-RFC 6793 speakers)
+  kMessageAs4 = 4,  ///< 4-byte ASNs throughout
+};
 enum class TableDumpV2Subtype : std::uint16_t {
   kPeerIndexTable = 1,
   kRibIpv4Unicast = 2,
+  kRibIpv6Unicast = 4,
 };
+
+/// AS_TRANS (RFC 6793 §9): the 2-byte stand-in a pre-AS4 speaker writes
+/// into AS_PATH for any ASN that does not fit 16 bits; the true path
+/// travels in the optional-transitive AS4_PATH attribute.
+inline constexpr bgp::Asn kAsTrans = 23456;
 
 /// A decoded MRT record header plus raw body.
 struct RawRecord {
@@ -64,12 +73,21 @@ struct RibEntryRecord {
 /// Encodes one BGP4MP_ET/MESSAGE_AS4 record (header + body).
 std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec);
 
-/// Decodes the body of a BGP4MP_ET/MESSAGE_AS4 record.
+/// Encodes one BGP4MP_ET/MESSAGE record as a pre-AS4 speaker would:
+/// 2-byte header ASNs and 2-byte AS_PATH hops with AS_TRANS substituted
+/// for wide ASNs, plus an AS4_PATH attribute carrying the true path when
+/// any hop needs it. Archived RouteViews windows predating AS4 adoption
+/// are full of this shape; the importer's merge test feeds on it.
+std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec);
+
+/// Decodes the body of a BGP4MP_ET/MESSAGE or MESSAGE_AS4 record
+/// (2-byte AS_PATHs are AS4_PATH-merged per RFC 6793 §4.2.3).
 UpdateRecord decode_update_record(const RawRecord& raw);
 
 /// Encodes a full TABLE_DUMP_V2 snapshot: one PEER_INDEX_TABLE record
-/// followed by one RIB_IPV4_UNICAST record per prefix. `snapshot_time` is
-/// stamped on every record.
+/// followed by one RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record per entry
+/// (subtype chosen by each prefix's family). `snapshot_time` is stamped
+/// on every record.
 std::vector<std::uint8_t> encode_table_dump(const std::vector<RibEntryRecord>& entries,
                                             SimTime snapshot_time);
 
@@ -84,11 +102,29 @@ void write_raw_record(ByteWriter& writer, RecordType type, std::uint16_t subtype
 /// Encodes just the BGP UPDATE wire message (RFC 4271 §4.3), without the
 /// MRT envelope. Exposed for tests and for the codec microbenchmarks.
 std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update);
-bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender);
+bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender,
+                                     bool two_byte_as_path = false);
 
 /// Path-attribute codec shared by UPDATE bodies and TABLE_DUMP_V2 RIB
 /// entries (both use the RFC 4271 attribute encoding).
 void encode_path_attributes(ByteWriter& writer, const bgp::PathAttributes& attrs);
 bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader);
+
+/// NLRI prefix codec (RFC 4271 §4.3 <length, prefix> tuples), shared by
+/// UPDATE bodies, TABLE_DUMP_V2 RIB records and the streaming importer.
+void write_nlri_prefix(ByteWriter& writer, const net::Prefix& prefix);
+net::Prefix read_nlri_prefix(ByteReader& reader, net::IpFamily family);
+
+/// Allocation-reusing decode: fills `out` in place (clearing it first)
+/// and stages AS hops in the caller-owned scratch vectors, so a warmed-up
+/// import loop touches no heap. With `two_byte_as_path` the mandatory
+/// AS_PATH is read as 16-bit hops and, when an AS4_PATH attribute is
+/// present, the two are merged per RFC 6793 §4.2.3: the AS4_PATH rewrites
+/// the tail of the AS_PATH, excess leading (oldest-speaker) hops survive,
+/// and an over-long AS4_PATH is ignored entirely.
+void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& out,
+                                 bool two_byte_as_path,
+                                 std::vector<bgp::Asn>& hops_scratch,
+                                 std::vector<bgp::Asn>& as4_scratch);
 
 }  // namespace artemis::mrt

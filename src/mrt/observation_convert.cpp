@@ -1,0 +1,339 @@
+#include "mrt/observation_convert.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace artemis::mrt {
+namespace {
+
+constexpr std::uint8_t kBgpMsgUpdate = 2;
+
+/// Read-only view of one input file: mmap'd when possible (a full RIB
+/// snapshot is gigabytes — the converter only ever looks at one record,
+/// so the page cache streams it through in O(1) resident memory), plain
+/// read fallback for filesystems without mmap.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw std::runtime_error("cannot open MRT file: " + path);
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      throw std::runtime_error("cannot stat MRT file: " + path);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        data_ = static_cast<const std::uint8_t*>(p);
+        mapped_ = true;
+        // The importer walks strictly forward.
+        ::madvise(p, size_, MADV_SEQUENTIAL);
+      } else {
+        owned_.resize(size_);
+        std::size_t off = 0;
+        while (off < size_) {
+          const ::ssize_t n = ::read(fd, owned_.data() + off, size_ - off);
+          if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("cannot read MRT file: " + path);
+          }
+          off += static_cast<std::size_t>(n);
+        }
+        data_ = owned_.data();
+      }
+    }
+    ::close(fd);
+  }
+
+  ~MappedFile() {
+    if (mapped_) ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::uint8_t> view() const { return {data_, size_}; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> owned_;
+};
+
+std::uint16_t be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+ObservationConverter::ObservationConverter(ObservationConvertOptions options)
+    : options_(std::move(options)) {
+  batch_.reserve(options_.batch_capacity);
+}
+
+const std::string& ObservationConverter::source_for(bgp::Asn peer) {
+  if (options_.source_scheme == ImportSourceScheme::kSingle) {
+    return options_.source_prefix;
+  }
+  const auto it = std::lower_bound(
+      sources_.begin(), sources_.end(), peer,
+      [](const PeerSource& s, bgp::Asn p) { return s.peer < p; });
+  if (it != sources_.end() && it->peer == peer) return it->name;
+  PeerSource entry;
+  entry.peer = peer;
+  entry.name = options_.source_prefix + ":AS" + std::to_string(peer);
+  return sources_.insert(it, std::move(entry))->name;
+}
+
+feeds::Observation& ObservationConverter::slot(feeds::ObservationType type,
+                                               bgp::Asn peer, std::int64_t event_us) {
+  feeds::Observation& obs = batch_.emplace_back();
+  obs.type = type;
+  obs.source = source_for(peer);  // copy-assign into recycled capacity
+  obs.vantage = peer;
+  obs.event_time = SimTime::at_micros(event_us);
+  obs.delivered_at = SimTime::at_micros(event_us + options_.delivery_lag.as_micros());
+  return obs;
+}
+
+void ObservationConverter::flush(const feeds::ObservationBatchHandler& sink) {
+  if (batch_.empty()) return;
+  sink(batch_.view());
+  emitted_ += batch_.size();
+  batch_.clear();
+}
+
+void ObservationConverter::convert_bgp4mp(ByteReader body, bool as4,
+                                          std::int64_t event_us) {
+  const bgp::Asn peer = as4 ? body.u32() : body.u16();
+  if (as4) {
+    body.u32();  // local ASN
+  } else {
+    body.u16();
+  }
+  body.u16();  // interface index
+  const std::uint16_t afi = body.u16();
+  if (afi != 1 && afi != 2) throw DecodeError("bad BGP4MP address family");
+  const std::size_t addr_len = afi == 1 ? 4 : 16;
+  body.bytes(addr_len);  // peer IP
+  body.bytes(addr_len);  // local IP
+
+  for (int i = 0; i < 16; ++i) {
+    if (body.u8() != 0xFF) throw DecodeError("bad BGP marker");
+  }
+  const std::uint16_t total_len = body.u16();
+  if (total_len < 19) throw DecodeError("BGP message too short");
+  const std::uint8_t msg_type = body.u8();
+  ByteReader msg = body.sub(static_cast<std::size_t>(total_len) - 19);
+  // Real archives interleave OPENs/KEEPALIVEs with UPDATEs; only UPDATEs
+  // carry elems.
+  if (msg_type != kBgpMsgUpdate) return;
+
+  withdrawn_scratch_.clear();
+  ByteReader withdrawn = msg.sub(msg.u16());
+  while (!withdrawn.done()) {
+    withdrawn_scratch_.push_back(read_nlri_prefix(withdrawn, net::IpFamily::kIpv4));
+  }
+  ByteReader attrs = msg.sub(msg.u16());
+  if (attrs.remaining() > 0) {
+    decode_path_attributes_into(attrs, scratch_attrs_, /*two_byte_as_path=*/!as4,
+                                hops_scratch_, as4_scratch_);
+  } else {
+    scratch_attrs_.reset();
+  }
+  // Announcements before withdrawals within a record (ElemReader /
+  // libBGPStream order — equivalence tests rely on it).
+  while (!msg.done()) {
+    const net::Prefix prefix = read_nlri_prefix(msg, net::IpFamily::kIpv4);
+    feeds::Observation& obs = slot(feeds::ObservationType::kAnnouncement, peer, event_us);
+    obs.prefix = prefix;
+    obs.attrs = scratch_attrs_;
+  }
+  for (const auto& prefix : withdrawn_scratch_) {
+    feeds::Observation& obs = slot(feeds::ObservationType::kWithdrawal, peer, event_us);
+    obs.prefix = prefix;
+    obs.attrs.reset();
+  }
+}
+
+void ObservationConverter::convert_peer_index(ByteReader body) {
+  body.u32();  // collector BGP ID
+  const std::uint16_t name_len = body.u16();
+  body.bytes(name_len);  // view name
+  const std::uint16_t count = body.u16();
+  peer_table_.clear();
+  peer_table_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const std::uint8_t peer_type = body.u8();
+    body.u32();  // peer BGP ID
+    body.bytes((peer_type & 0x01) != 0 ? 16 : 4);  // peer IP
+    peer_table_.push_back((peer_type & 0x02) != 0 ? body.u32() : body.u16());
+  }
+}
+
+void ObservationConverter::convert_rib(ByteReader body, net::IpFamily family,
+                                       std::int64_t event_us) {
+  body.u32();  // sequence
+  const net::Prefix prefix = read_nlri_prefix(body, family);
+  const std::uint16_t entry_count = body.u16();
+  for (int i = 0; i < entry_count; ++i) {
+    const std::uint16_t peer_index = body.u16();
+    if (peer_index >= peer_table_.size()) {
+      throw DecodeError("RIB entry references unknown peer");
+    }
+    body.u32();  // originated time (the import clock uses the record header)
+    ByteReader attrs = body.sub(body.u16());
+    decode_path_attributes_into(attrs, scratch_attrs_, /*two_byte_as_path=*/false,
+                                hops_scratch_, as4_scratch_);
+    feeds::Observation& obs =
+        slot(feeds::ObservationType::kRouteState, peer_table_[peer_index], event_us);
+    obs.prefix = prefix;
+    obs.attrs = scratch_attrs_;
+  }
+}
+
+ConvertFileStats ObservationConverter::convert_file(
+    std::span<const std::uint8_t> data, const feeds::ObservationBatchHandler& sink) {
+  ConvertFileStats stats;
+  peer_table_.clear();  // the peer index never spans files
+  std::size_t pos = 0;
+  const std::size_t size = data.size();
+  while (pos < size) {
+    // MRT common header: u32 seconds, u16 type, u16 subtype, u32 length.
+    if (size - pos < 12) {
+      stats.truncated = true;
+      break;
+    }
+    const std::uint32_t seconds = be32(&data[pos]);
+    const std::uint16_t type = be16(&data[pos + 4]);
+    const std::uint16_t subtype = be16(&data[pos + 6]);
+    std::uint32_t length = be32(&data[pos + 8]);
+    std::size_t body_off = pos + 12;
+    std::int64_t ts_us = static_cast<std::int64_t>(seconds) * 1'000'000;
+    if (type == static_cast<std::uint16_t>(RecordType::kBgp4mpEt)) {
+      if (length < 4) {
+        stats.error = "ET record too short";
+        break;
+      }
+      if (size - body_off < 4) {
+        stats.truncated = true;
+        break;
+      }
+      ts_us += be32(&data[body_off]);
+      body_off += 4;
+      length -= 4;
+    }
+    if (size - body_off < length) {
+      stats.truncated = true;
+      break;
+    }
+    // Monotone import clock: archives interleave collector shards whose
+    // headers can step backwards; clamp so event_time never regresses.
+    const std::int64_t event_us = std::max(clock_us_, ts_us);
+
+    ByteReader body(data.subspan(body_off, length));
+    const std::size_t mark = batch_.size();
+    try {
+      if (type == static_cast<std::uint16_t>(RecordType::kBgp4mp) ||
+          type == static_cast<std::uint16_t>(RecordType::kBgp4mpEt)) {
+        if (subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4)) {
+          convert_bgp4mp(body, /*as4=*/true, event_us);
+        } else if (subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage)) {
+          convert_bgp4mp(body, /*as4=*/false, event_us);
+        }
+        // Other BGP4MP subtypes (state changes) carry no elems.
+      } else if (type == static_cast<std::uint16_t>(RecordType::kTableDumpV2)) {
+        if (subtype == static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable)) {
+          convert_peer_index(body);
+        } else if (subtype ==
+                   static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast)) {
+          convert_rib(body, net::IpFamily::kIpv4, event_us);
+        } else if (subtype ==
+                   static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv6Unicast)) {
+          convert_rib(body, net::IpFamily::kIpv6, event_us);
+        }
+        // Unknown TABLE_DUMP_V2 subtypes are skipped.
+      }
+      // Unknown record types are skipped (forward compatibility).
+    } catch (const DecodeError& e) {
+      // Malformed interior record: drop its partially-staged observations
+      // so every emitted batch ends on a record boundary, and stop the
+      // file cleanly at the previous record.
+      while (batch_.size() > mark) batch_.pop_back();
+      stats.error = e.what();
+      break;
+    }
+    clock_us_ = event_us;
+    pos = body_off + length;
+    stats.records += 1;
+    stats.observations += batch_.size() - mark;
+    if (batch_.size() >= options_.batch_capacity) flush(sink);
+  }
+  stats.bytes_consumed = pos;
+  flush(sink);
+  return stats;
+}
+
+MrtImportResult import_mrt_files(std::span<const std::string> paths,
+                                 const std::string& journal_dir,
+                                 const ObservationConvertOptions& options,
+                                 const journal::JournalWriterOptions& writer_options) {
+  MrtImportResult result;
+  journal::JournalWriter writer(journal_dir, writer_options);
+  ObservationConverter converter(options);
+  const feeds::ObservationBatchHandler sink = writer.tap();
+  for (const auto& path : paths) {
+    const MappedFile file(path);
+    const ConvertFileStats stats = converter.convert_file(file.view(), sink);
+    result.records += stats.records;
+    result.observations += stats.observations;
+    result.mrt_bytes += stats.bytes_consumed;
+    if (stats.clean()) {
+      result.files += 1;
+    } else if (stats.truncated) {
+      result.truncated_files += 1;
+      result.file_errors.push_back(path + ": truncated mid-record (" +
+                                   std::to_string(stats.records) +
+                                   " complete records imported)");
+    } else {
+      result.failed_files += 1;
+      result.file_errors.push_back(path + ": " + stats.error);
+    }
+  }
+  writer.close();
+  result.journal_bytes = writer.bytes_written();
+  result.segments = writer.segments_opened();
+  return result;
+}
+
+json::Value import_result_to_json(const std::string& journal_dir,
+                                  const MrtImportResult& result) {
+  json::Object out;
+  out["journal_dir"] = json::Value(journal_dir);
+  out["files"] = json::Value(static_cast<std::int64_t>(result.files));
+  out["truncated_files"] = json::Value(static_cast<std::int64_t>(result.truncated_files));
+  out["failed_files"] = json::Value(static_cast<std::int64_t>(result.failed_files));
+  out["records"] = json::Value(static_cast<std::int64_t>(result.records));
+  out["observations"] = json::Value(static_cast<std::int64_t>(result.observations));
+  out["mrt_bytes"] = json::Value(static_cast<std::int64_t>(result.mrt_bytes));
+  out["journal_bytes"] = json::Value(static_cast<std::int64_t>(result.journal_bytes));
+  out["segments"] = json::Value(static_cast<std::int64_t>(result.segments));
+  return json::Value(std::move(out));
+}
+
+}  // namespace artemis::mrt

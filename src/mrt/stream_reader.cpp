@@ -71,15 +71,22 @@ void ElemReader::load_record() {
           peer_table_.push_back((peer_type & 0x02) != 0 ? body.u32() : body.u16());
         }
       } else if (raw->subtype ==
-                 static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast)) {
+                     static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast) ||
+                 raw->subtype ==
+                     static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv6Unicast)) {
+        const auto family =
+            raw->subtype == static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast)
+                ? net::IpFamily::kIpv4
+                : net::IpFamily::kIpv6;
         body.u32();  // sequence
         const int plen = body.u8();
-        if (plen > 32) throw DecodeError("RIB prefix length out of range");
-        std::uint8_t buf[4] = {};
+        if (plen > net::family_bits(family)) {
+          throw DecodeError("RIB prefix length out of range");
+        }
+        std::uint8_t buf[16] = {};
         const auto raw_prefix = body.bytes(static_cast<std::size_t>((plen + 7) / 8));
         std::memcpy(buf, raw_prefix.data(), raw_prefix.size());
-        const net::Prefix prefix(net::IpAddress::from_bytes(net::IpFamily::kIpv4, buf),
-                                 plen);
+        const net::Prefix prefix(net::IpAddress::from_bytes(family, buf), plen);
         const std::uint16_t entry_count = body.u16();
         for (int i = 0; i < entry_count; ++i) {
           const std::uint16_t peer_index = body.u16();

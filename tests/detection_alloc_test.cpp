@@ -19,6 +19,7 @@
 #include "artemis/detection.hpp"
 #include "feeds/monitor_hub.hpp"
 #include "journal/writer.hpp"
+#include "mrt/observation_convert.hpp"
 #include "pipeline/sharded_detector.hpp"
 
 namespace {
@@ -231,6 +232,66 @@ TEST(DetectionAllocTest, SteadyStateJournalTapIsAllocationFree) {
   EXPECT_EQ(writer.records_written(), 8u * 10001u);
   EXPECT_GT(writer.bytes_written(), 0u);
   EXPECT_EQ(hub.total_observations(), 8u * 10001u);
+}
+
+TEST(DetectionAllocTest, SteadyStateMrtImportIsAllocationFree) {
+  // The archive import hot path: MRT bytes -> ObservationConverter ->
+  // JournalWriter tap. After one priming pass (sources interned, batch
+  // and scratch buffers at capacity, encoder warmed) re-converting a
+  // window performs zero heap allocations — the line-rate contract for
+  // mrt2journal.
+  std::vector<std::uint8_t> window;
+  {
+    auto record = [](bgp::Asn peer, double t, const char* announced,
+                     std::vector<bgp::Asn> path, const char* withdrawn = nullptr) {
+      mrt::UpdateRecord rec;
+      rec.peer_asn = peer;
+      rec.peer_ip = net::IpAddress::v4(0x0A000000 | peer);
+      rec.timestamp = SimTime::at_seconds(t);
+      rec.update.sender = peer;
+      if (announced != nullptr) {
+        rec.update.announced.push_back(net::Prefix::must_parse(announced));
+      }
+      if (withdrawn != nullptr) {
+        rec.update.withdrawn.push_back(net::Prefix::must_parse(withdrawn));
+      }
+      rec.update.attrs.as_path = bgp::AsPath(std::move(path));
+      return mrt::encode_update_record(rec);
+    };
+    for (int i = 0; i < 8; ++i) {
+      const auto bytes =
+          record(9, 100 + i, "10.0.0.0/23", {9, 3356, 666}, "203.0.113.0/24");
+      window.insert(window.end(), bytes.begin(), bytes.end());
+      const auto more = record(8, 100 + i, "10.0.1.0/24", {8, 1299, 65001});
+      window.insert(window.end(), more.begin(), more.end());
+    }
+  }
+
+  const std::string dir = ::testing::TempDir() + "artemis_mrt_import_alloc";
+  std::filesystem::remove_all(dir);
+  journal::JournalWriter writer(dir);
+  mrt::ObservationConverter converter;
+  const feeds::ObservationBatchHandler sink = writer.tap();
+
+  // Prime: interns the two peer sources, grows batch/scratch capacity.
+  const auto primed = converter.convert_file(window, sink);
+  ASSERT_TRUE(primed.clean());
+  ASSERT_EQ(primed.observations, 24u);  // 8 x (2 elems) + 8 x (1 elem)
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const auto stats = converter.convert_file(window, sink);
+    if (!stats.clean() || stats.observations != 24u) {
+      FAIL() << "conversion changed shape mid-loop";
+    }
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state MRT convert -> journal append allocated";
+
+  writer.close();
+  EXPECT_EQ(converter.observations_emitted(), 24u * 1001u);
+  EXPECT_EQ(writer.records_written(), 24u * 1001u);
 }
 
 TEST(DetectionAllocTest, SteadyStateShardedInlineSubmitIsAllocationFree) {

@@ -147,5 +147,42 @@ TEST(MonitoringTest, HostPrefixOwnedUsesSingleSample) {
             true);
 }
 
+TEST(MonitoringTest, BatchMatchesPerObservationProcessing) {
+  // The batch-vs-loop oracle for the memoized batch path: process_batch
+  // must record exactly the change timeline process() does, including
+  // intermediate flips inside one batch, repeated prefixes (the match
+  // memo) and runs of one vantage (the view memo).
+  const auto config = victim_config();
+  std::vector<feeds::Observation> stream;
+  // vantage 9: legit, flip to hijack, repeat (memo hit), flip back.
+  stream.push_back(obs(9, "10.0.0.0/23", {9, 2, 65001}, 10));
+  stream.push_back(obs(9, "10.0.0.0/23", {9, 666}, 11));
+  stream.push_back(obs(9, "10.0.0.0/23", {9, 666}, 12));
+  stream.push_back(obs(9, "10.0.0.0/23", {9, 2, 65001}, 13));
+  // vantage switch mid-batch, sub-prefix via LPM, a withdrawal, noise.
+  stream.push_back(obs(8, "10.0.0.0/23", {8, 65001}, 14));
+  stream.push_back(obs(8, "10.0.1.0/24", {8, 666}, 15));
+  stream.push_back(obs(8, "10.0.1.0/24", {}, 16, feeds::ObservationType::kWithdrawal));
+  stream.push_back(obs(8, "203.0.113.0/24", {8, 7}, 17));
+  stream.push_back(obs(9, "10.0.0.0/16", {9, 666}, 18));
+
+  MonitoringService loop(config);
+  for (const auto& o : stream) loop.process(o);
+  MonitoringService batched(config);
+  batched.process_batch(stream);
+
+  ASSERT_EQ(batched.changes().size(), loop.changes().size());
+  for (std::size_t i = 0; i < loop.changes().size(); ++i) {
+    EXPECT_EQ(batched.changes()[i].when, loop.changes()[i].when) << i;
+    EXPECT_EQ(batched.changes()[i].vantage, loop.changes()[i].vantage) << i;
+    EXPECT_EQ(batched.changes()[i].owned, loop.changes()[i].owned) << i;
+    EXPECT_EQ(batched.changes()[i].legitimate, loop.changes()[i].legitimate) << i;
+    EXPECT_EQ(batched.changes()[i].current_origin, loop.changes()[i].current_origin)
+        << i;
+  }
+  EXPECT_EQ(batched.fraction_legitimate(kOwned), loop.fraction_legitimate(kOwned));
+  EXPECT_EQ(batched.vantages_with_data(kOwned), loop.vantages_with_data(kOwned));
+}
+
 }  // namespace
 }  // namespace artemis::core

@@ -324,6 +324,158 @@ TEST(ElemReaderTest, FileRoundTrip) {
   EXPECT_THROW(read_elems_from_file(path), std::runtime_error);
 }
 
+// ------------------------------------------- pre-AS4 records & AS4_PATH
+
+TEST(UpdateRecordTest, As2RoundTripMergesAs4Path) {
+  UpdateRecord rec;
+  rec.peer_asn = 64501;
+  rec.local_asn = 0;
+  rec.peer_ip = net::IpAddress::v4(0x0A000001);
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update.announced.push_back(net::Prefix::must_parse("10.0.0.0/24"));
+  // A wide ASN forces AS_TRANS + AS4_PATH on the 2-byte wire.
+  rec.update.attrs.as_path = bgp::AsPath({64501, 200000, 65030});
+
+  const auto bytes = encode_update_record_as2(rec);
+  ByteReader r(bytes);
+  const auto raw = read_raw_record(r);
+  ASSERT_TRUE(raw);
+  EXPECT_EQ(raw->subtype, static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage));
+  const auto decoded = decode_update_record(*raw);
+  EXPECT_EQ(decoded.peer_asn, 64501u);
+  EXPECT_EQ(decoded.update.attrs.as_path.to_string(), "64501 200000 65030");
+}
+
+TEST(UpdateRecordTest, As2WithoutWideAsnsHasNoAs4Path) {
+  UpdateRecord rec;
+  rec.peer_asn = 64501;
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update.announced.push_back(net::Prefix::must_parse("10.0.0.0/24"));
+  rec.update.attrs.as_path = bgp::AsPath({64501, 65030});
+  const auto with_narrow = encode_update_record_as2(rec);
+  rec.update.attrs.as_path = bgp::AsPath({64501, 200000});
+  const auto with_wide = encode_update_record_as2(rec);
+  // The AS4_PATH attribute only appears when a hop was squashed.
+  EXPECT_LT(with_narrow.size(), with_wide.size());
+  ByteReader r(with_narrow);
+  const auto decoded = decode_update_record(*read_raw_record(r));
+  EXPECT_EQ(decoded.update.attrs.as_path.to_string(), "64501 65030");
+}
+
+/// Builds a raw attribute block with independent AS_PATH (2-byte) and
+/// AS4_PATH hop lists — the shapes encode_update_record_as2 can't emit.
+std::vector<std::uint8_t> as2_attr_block(const std::vector<bgp::Asn>& as_path,
+                                         const std::vector<bgp::Asn>& as4_path) {
+  ByteWriter w;
+  w.u8(0x40);  // transitive
+  w.u8(2);     // AS_PATH
+  w.u8(static_cast<std::uint8_t>(2 + 2 * as_path.size()));
+  w.u8(2);  // AS_SEQUENCE
+  w.u8(static_cast<std::uint8_t>(as_path.size()));
+  for (const auto asn : as_path) w.u16(static_cast<std::uint16_t>(asn));
+  if (!as4_path.empty()) {
+    w.u8(0xC0);  // optional transitive
+    w.u8(17);    // AS4_PATH
+    w.u8(static_cast<std::uint8_t>(2 + 4 * as4_path.size()));
+    w.u8(2);  // AS_SEQUENCE
+    w.u8(static_cast<std::uint8_t>(as4_path.size()));
+    for (const auto asn : as4_path) w.u32(asn);
+  }
+  return w.take();
+}
+
+TEST(PathAttributesTest, As4MergeKeepsExcessLeadingAsPathHops) {
+  // RFC 6793 §4.2.3: an old speaker prepended itself AFTER the AS4_PATH
+  // was attached, so AS_PATH is longer; the leading hop survives and the
+  // tail comes from AS4_PATH.
+  const auto block = as2_attr_block({64496, kAsTrans, 65030}, {200000, 65030});
+  ByteReader r(block);
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops;
+  std::vector<bgp::Asn> as4;
+  decode_path_attributes_into(r, attrs, /*two_byte_as_path=*/true, hops, as4);
+  EXPECT_EQ(attrs.as_path.to_string(), "64496 200000 65030");
+}
+
+TEST(PathAttributesTest, As4PathIgnoredForFourByteSpeakers) {
+  // A MESSAGE_AS4 record can still carry a propagated (stale) AS4_PATH;
+  // RFC 6793 §4.2.3: a 4-byte AS_PATH is authoritative and the AS4_PATH
+  // must not overwrite it.
+  ByteWriter w;
+  w.u8(0x40);  // transitive AS_PATH, 4-byte hops
+  w.u8(2);
+  w.u8(2 + 4 * 2);
+  w.u8(2);  // AS_SEQUENCE
+  w.u8(2);
+  w.u32(64496);
+  w.u32(65030);
+  w.u8(0xC0);  // stale AS4_PATH with different hops
+  w.u8(17);
+  w.u8(2 + 4 * 2);
+  w.u8(2);
+  w.u8(2);
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops;
+  std::vector<bgp::Asn> as4;
+  decode_path_attributes_into(r, attrs, /*two_byte_as_path=*/false, hops, as4);
+  EXPECT_EQ(attrs.as_path.to_string(), "64496 65030");
+}
+
+TEST(PathAttributesTest, OverlongAs4PathIsIgnored) {
+  // An AS4_PATH longer than the AS_PATH is bogus; RFC 6793 says fall
+  // back to the plain AS_PATH.
+  const auto block = as2_attr_block({64496, 65030}, {1, 2, 3});
+  ByteReader r(block);
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops;
+  std::vector<bgp::Asn> as4;
+  decode_path_attributes_into(r, attrs, /*two_byte_as_path=*/true, hops, as4);
+  EXPECT_EQ(attrs.as_path.to_string(), "64496 65030");
+}
+
+TEST(ElemReaderTest, As2UpdatesFanOutWithMergedPaths) {
+  ByteWriter stream;
+  UpdateRecord rec;
+  rec.peer_asn = 64501;
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update.announced.push_back(net::Prefix::must_parse("10.0.0.0/24"));
+  rec.update.attrs.as_path = bgp::AsPath({64501, 200000});
+  stream.bytes(encode_update_record_as2(rec));
+  const auto elems = read_elems(stream.data());
+  ASSERT_EQ(elems.size(), 1u);
+  EXPECT_EQ(elems[0].peer_asn, 64501u);
+  EXPECT_EQ(elems[0].origin_as(), 200000u);
+}
+
+// ------------------------------------------------------- IPv6 RIB dumps
+
+TEST(ElemReaderTest, Ipv6RibEntriesRoundTrip) {
+  std::vector<RibEntryRecord> entries;
+  RibEntryRecord v6;
+  v6.peer_asn = 100;
+  v6.timestamp = SimTime::at_seconds(50);
+  v6.route.prefix = net::Prefix::must_parse("2001:db8::/32");
+  v6.route.attrs.as_path = bgp::AsPath({100, 200});
+  entries.push_back(v6);
+  RibEntryRecord v4;
+  v4.peer_asn = 100;
+  v4.timestamp = SimTime::at_seconds(50);
+  v4.route.prefix = net::Prefix::must_parse("10.0.0.0/16");
+  v4.route.attrs.as_path = bgp::AsPath({100, 300});
+  entries.push_back(v4);
+
+  const auto bytes = encode_table_dump(entries, SimTime::at_seconds(7200));
+  const auto elems = read_elems(bytes);
+  ASSERT_EQ(elems.size(), 2u);
+  EXPECT_EQ(elems[0].prefix, net::Prefix::must_parse("2001:db8::/32"));
+  EXPECT_EQ(elems[0].origin_as(), 200u);
+  EXPECT_EQ(elems[1].prefix, net::Prefix::must_parse("10.0.0.0/16"));
+  EXPECT_EQ(elems[1].origin_as(), 300u);
+}
+
 TEST(ElemTest, ToStringFormats) {
   BgpElem e;
   e.type = ElemType::kAnnounce;

@@ -21,6 +21,21 @@ net::Prefix random_prefix(Rng& rng, int min_len = 8, int max_len = 24) {
                      static_cast<int>(rng.uniform_int(min_len, max_len)));
 }
 
+/// Global-unicast v6 addresses with the real table's shape: a handful of
+/// dense RIR blocks up top, well-spread allocation bits below, /32-/48
+/// prefix lengths (where actual announcements cluster).
+net::IpAddress random_v6_address(Rng& rng) {
+  static constexpr std::uint64_t kRirBlocks[] = {0x2001, 0x2400, 0x2600, 0x2620,
+                                                 0x2800, 0x2a00, 0x2c00, 0x2a10};
+  const std::uint64_t block = kRirBlocks[rng.next_u64() & 7];
+  const std::uint64_t hi = (block << 48) | (rng.next_u64() & 0xFFFFFFFFFFFFull);
+  return net::IpAddress::from_words(net::IpFamily::kIpv6, hi, rng.next_u64());
+}
+
+net::Prefix random_v6_prefix(Rng& rng) {
+  return net::Prefix(random_v6_address(rng), static_cast<int>(rng.uniform_int(32, 48)));
+}
+
 void BM_PrefixParse(benchmark::State& state) {
   Rng rng(1);
   std::vector<std::string> texts;
@@ -63,6 +78,35 @@ void BM_TrieLpmLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrieLpmLookup)->Arg(1000)->Arg(100000)->Arg(900000);
+
+/// v6 LPM with the stride cascade (the default). Tracked alongside the
+/// v4 trajectory; the PathOnly variant below is the pre-cascade baseline
+/// the cascade must beat at >= 100k routes (ISSUE 5 acceptance).
+void trie_lpm_lookup_v6(benchmark::State& state, bool stride_tables) {
+  Rng rng(11);
+  net::PrefixTrie<int> trie;
+  trie.set_stride_tables_enabled(stride_tables);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    trie.insert(random_v6_prefix(rng), static_cast<int>(i));
+  }
+  std::vector<net::IpAddress> probes;
+  for (int i = 0; i < 1024; ++i) probes.push_back(random_v6_address(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TrieLpmLookupV6(benchmark::State& state) {
+  trie_lpm_lookup_v6(state, /*stride_tables=*/true);
+}
+BENCHMARK(BM_TrieLpmLookupV6)->Arg(1000)->Arg(100000)->Arg(900000);
+
+void BM_TrieLpmLookupV6PathOnly(benchmark::State& state) {
+  trie_lpm_lookup_v6(state, /*stride_tables=*/false);
+}
+BENCHMARK(BM_TrieLpmLookupV6PathOnly)->Arg(1000)->Arg(100000)->Arg(900000);
 
 bgp::UpdateMessage sample_update(Rng& rng) {
   bgp::UpdateMessage u;

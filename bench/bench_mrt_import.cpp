@@ -97,6 +97,49 @@ const std::vector<std::uint8_t>& rib_window() {
   return window;
 }
 
+/// A realistic dual-stack update window: v6 NLRI in MP_REACH/MP_UNREACH
+/// attributes (the only way v6 appears in BGP4MP update archives), 32-byte
+/// next hops on half the records, 1-4 NLRI per record, occasional
+/// MP_UNREACH withdrawals, 1 in 16 records touching the hijacked v6 /32.
+const std::vector<std::uint8_t>& mp_updates_window() {
+  static const std::vector<std::uint8_t> window = [] {
+    Rng rng(9);
+    std::vector<std::uint8_t> out;
+    constexpr int kRecords = 8192;
+    const bgp::Asn peers[4] = {9, 8, 7, 6};
+    for (int g = 0; g < kRecords; ++g) {
+      mrt::UpdateRecord rec;
+      rec.peer_asn = peers[g % 4];
+      rec.peer_ip = net::IpAddress::v4(0x0A000000 | rec.peer_asn);
+      rec.timestamp = SimTime::at_seconds(g / 8);
+      rec.update.sender = rec.peer_asn;
+      const auto nlri = rng.uniform_int(1, 4);
+      for (std::int64_t n = 0; n < nlri; ++n) {
+        if (g % 16 == 0 && n == 0) {
+          rec.update.announced.push_back(net::Prefix::must_parse("2001:db8::/32"));
+          continue;
+        }
+        const std::uint64_t hi = (0x2600ull << 48) | (rng.next_u64() & 0xFFFFFFFFFFFFull);
+        rec.update.announced.push_back(
+            net::Prefix(net::IpAddress::from_words(net::IpFamily::kIpv6, hi,
+                                                   rng.next_u64()),
+                        static_cast<int>(rng.uniform_int(32, 48))));
+      }
+      rec.update.attrs.as_path =
+          bgp::AsPath({rec.peer_asn, 3356, (g % 16 == 0) ? 667u : 65001u});
+      if (g % 32 == 0) {
+        rec.update.withdrawn.push_back(net::Prefix::must_parse("2001:db8:dead::/48"));
+      }
+      mrt::UpdateEncodeOptions options;
+      options.mp_next_hop_len = (g % 2 == 0) ? 16 : 32;
+      const auto bytes = mrt::encode_update_record(rec, options);
+      out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+    return out;
+  }();
+  return window;
+}
+
 std::uint64_t count_observations(const std::vector<std::uint8_t>& window) {
   mrt::ObservationConverter converter;
   const auto stats = converter.convert_file(
@@ -130,6 +173,13 @@ void BM_MrtConvertRib(benchmark::State& state) {
   convert_window_bench(state, rib_window());
 }
 BENCHMARK(BM_MrtConvertRib);
+
+/// The dual-stack decode path: MP_REACH/MP_UNREACH attribute parsing
+/// into recycled batch slots. Gated in CI alongside the v4 decode benches.
+void BM_MrtDecodeMpReach(benchmark::State& state) {
+  convert_window_bench(state, mp_updates_window());
+}
+BENCHMARK(BM_MrtDecodeMpReach);
 
 void BM_MrtImportToJournal(benchmark::State& state) {
   const auto& window = updates_window();

@@ -3,7 +3,10 @@
 # bench_micro, bench_pipeline, bench_journal and bench_mrt_import with
 # --benchmark_format=json and merges the reports into BENCH_<n>.json,
 # where <n> auto-increments per output directory. CI runs this and gates
-# on bench/check_bench_regression.py.
+# on bench/check_bench_regression.py. Every bench in those binaries is
+# recorded automatically — the PR-5 additions (BM_TrieLpmLookupV6*,
+# BM_MrtDecodeMpReach) ride along with no changes here; the GATED subset
+# lives in .github/workflows/ci.yml (--benchmark flags).
 #
 # Usage: bench/record_bench.sh [build_dir] [out_dir]
 #   BENCH_MIN_TIME  google-benchmark --benchmark_min_time value

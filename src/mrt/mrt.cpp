@@ -16,13 +16,21 @@ constexpr std::uint8_t kAttrNextHop = 3;
 constexpr std::uint8_t kAttrMed = 4;
 constexpr std::uint8_t kAttrLocalPref = 5;
 constexpr std::uint8_t kAttrCommunity = 8;
+constexpr std::uint8_t kAttrMpReach = 14;
+constexpr std::uint8_t kAttrMpUnreach = 15;
 constexpr std::uint8_t kAttrAs4Path = 17;
+
+// RFC 4760 AFI / SAFI values for the unicast families we model.
+constexpr std::uint16_t kAfiIpv4 = 1;
+constexpr std::uint16_t kAfiIpv6 = 2;
+constexpr std::uint8_t kSafiUnicast = 1;
 
 // Attribute flag bits.
 constexpr std::uint8_t kFlagOptional = 0x80;
 constexpr std::uint8_t kFlagTransitive = 0x40;
 constexpr std::uint8_t kFlagExtendedLen = 0x10;
 
+constexpr std::uint8_t kAsSet = 1;
 constexpr std::uint8_t kAsSequence = 2;
 
 void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
@@ -38,22 +46,43 @@ void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
   }
 }
 
+std::size_t nlri_bytes(std::span<const net::Prefix> prefixes) {
+  std::size_t total = 0;
+  for (const auto& p : prefixes) total += 1 + static_cast<std::size_t>((p.length() + 7) / 8);
+  return total;
+}
+
+/// MP_UNREACH_NLRI (RFC 4760 §4): AFI, SAFI, withdrawn v6 NLRI. The only
+/// attribute of a v6-withdraw-only update.
+void write_mp_unreach(ByteWriter& w, std::span<const net::Prefix> withdrawn) {
+  write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional),
+                    kAttrMpUnreach, 3 + nlri_bytes(withdrawn));
+  w.u16(kAfiIpv6);
+  w.u8(kSafiUnicast);
+  for (const auto& p : withdrawn) write_nlri_prefix(w, p);
+}
+
 /// Shared by the AS4 and pre-AS4 encoders: `two_byte_as_path` writes
 /// 16-bit AS_PATH hops (AS_TRANS for wide ASNs) and appends an AS4_PATH
-/// attribute carrying the true path when any hop was squashed.
+/// attribute carrying the true path when any hop was squashed. IPv6
+/// prefixes ride in MP_REACH_NLRI / MP_UNREACH_NLRI attributes with a
+/// zero next hop of `options.mp_next_hop_len` bytes (16 global-only, 32
+/// with the link-local slot most RIS peers fill).
 void encode_attrs(ByteWriter& w, const bgp::PathAttributes& attrs,
-                  bool two_byte_as_path) {
+                  bool two_byte_as_path, std::span<const net::Prefix> mp_announced,
+                  std::span<const net::Prefix> mp_withdrawn,
+                  const UpdateEncodeOptions& options) {
   // ORIGIN
   write_attr_header(w, kFlagTransitive, kAttrOrigin, 1);
   w.u8(static_cast<std::uint8_t>(attrs.origin));
-  // AS_PATH: one AS_SEQUENCE segment.
+  // AS_PATH: one AS_SEQUENCE segment (AS_SET for the aggregate fixture).
   const auto& hops = attrs.as_path.hops();
   bool needs_as4 = false;
   {
     const std::size_t hop_bytes = two_byte_as_path ? 2 : 4;
     const std::size_t seg_len = 2 + hop_bytes * hops.size();
     write_attr_header(w, kFlagTransitive, kAttrAsPath, seg_len);
-    w.u8(kAsSequence);
+    w.u8(options.as_set_path ? kAsSet : kAsSequence);
     w.u8(static_cast<std::uint8_t>(hops.size()));
     for (const auto asn : hops) {
       if (two_byte_as_path) {
@@ -85,13 +114,26 @@ void encode_attrs(ByteWriter& w, const bgp::PathAttributes& attrs,
     }
   }
   // AS4_PATH (RFC 6793): only when a wide ASN was replaced by AS_TRANS.
-  if (needs_as4) {
+  if (needs_as4 && !options.as_set_path) {
     write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional | kFlagTransitive),
                       kAttrAs4Path, 2 + 4 * hops.size());
     w.u8(kAsSequence);
     w.u8(static_cast<std::uint8_t>(hops.size()));
     for (const auto asn : hops) w.u32(asn);
   }
+  // MP_REACH_NLRI (RFC 4760 §3): AFI, SAFI, next hop, reserved, v6 NLRI.
+  if (!mp_announced.empty()) {
+    const auto nh_len = static_cast<std::size_t>(options.mp_next_hop_len);
+    write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional), kAttrMpReach,
+                      5 + nh_len + nlri_bytes(mp_announced));
+    w.u16(kAfiIpv6);
+    w.u8(kSafiUnicast);
+    w.u8(static_cast<std::uint8_t>(nh_len));
+    for (std::size_t i = 0; i < nh_len; ++i) w.u8(0);  // next hop: not modeled
+    w.u8(0);  // reserved
+    for (const auto& p : mp_announced) write_nlri_prefix(w, p);
+  }
+  if (!mp_withdrawn.empty()) write_mp_unreach(w, mp_withdrawn);
 }
 
 }  // namespace
@@ -113,16 +155,33 @@ net::Prefix read_nlri_prefix(ByteReader& r, net::IpFamily family) {
 }
 
 void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
-  encode_attrs(w, attrs, /*two_byte_as_path=*/false);
+  encode_attrs(w, attrs, /*two_byte_as_path=*/false, {}, {}, UpdateEncodeOptions{});
 }
+
+namespace {
+
+/// Reads the shared AFI/SAFI prelude of an MP attribute; returns the NLRI
+/// family. Anything but v4/v6 unicast is a shape we do not model.
+net::IpFamily read_mp_family(ByteReader& body, const char* attr_name) {
+  const std::uint16_t afi = body.u16();
+  const std::uint8_t safi = body.u8();
+  if ((afi != kAfiIpv4 && afi != kAfiIpv6) || safi != kSafiUnicast) {
+    throw UnsupportedRecord(std::string("unsupported ") + attr_name + " AFI/SAFI");
+  }
+  return afi == kAfiIpv4 ? net::IpFamily::kIpv4 : net::IpFamily::kIpv6;
+}
+
+}  // namespace
 
 void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& out,
                                  bool two_byte_as_path,
                                  std::vector<bgp::Asn>& hops_scratch,
-                                 std::vector<bgp::Asn>& as4_scratch) {
+                                 std::vector<bgp::Asn>& as4_scratch,
+                                 MpNlriScratch* mp) {
   out.reset();
   hops_scratch.clear();
   as4_scratch.clear();
+  if (mp != nullptr) mp->clear();
   bool have_as4 = false;
   while (!attrs_reader.done()) {
     const std::uint8_t flags = attrs_reader.u8();
@@ -141,7 +200,9 @@ void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& 
         while (!body.done()) {
           const std::uint8_t seg_type = body.u8();
           const std::uint8_t count = body.u8();
-          if (seg_type != kAsSequence) throw DecodeError("unsupported AS_PATH segment");
+          if (seg_type != kAsSequence) {
+            throw UnsupportedRecord("unsupported AS_PATH segment");
+          }
           for (int i = 0; i < count; ++i) {
             hops_scratch.push_back(two_byte_as_path ? body.u16() : body.u32());
           }
@@ -153,7 +214,9 @@ void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& 
         while (!body.done()) {
           const std::uint8_t seg_type = body.u8();
           const std::uint8_t count = body.u8();
-          if (seg_type != kAsSequence) throw DecodeError("unsupported AS4_PATH segment");
+          if (seg_type != kAsSequence) {
+            throw UnsupportedRecord("unsupported AS4_PATH segment");
+          }
           for (int i = 0; i < count; ++i) as4_scratch.push_back(body.u32());
         }
         have_as4 = true;
@@ -161,6 +224,31 @@ void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& 
       }
       case kAttrNextHop:
         break;  // intentionally ignored (AS-level model)
+      case kAttrMpReach: {
+        // With no staging area (TABLE_DUMP_V2 RIB entries, where RFC 6396
+        // abbreviates this attribute to a bare next hop) skip it whole —
+        // body was fully consumed by sub() above.
+        if (mp == nullptr) break;
+        const net::IpFamily family = read_mp_family(body, "MP_REACH_NLRI");
+        const std::uint8_t nh_len = body.u8();
+        // v4: 4, or 16/32 for v4-NLRI-over-v6-next-hop (RFC 8950 — the
+        // next hop is discarded unmodeled, the NLRI is ordinary v4
+        // unicast). v6: 16, or 32 with the link-local slot.
+        const bool nh_ok = family == net::IpFamily::kIpv4
+                               ? (nh_len == 4 || nh_len == 16 || nh_len == 32)
+                               : (nh_len == 16 || nh_len == 32);
+        if (!nh_ok) throw DecodeError("bad MP_REACH_NLRI next-hop length");
+        body.bytes(nh_len);  // next hop(s): not modeled
+        body.u8();           // reserved
+        while (!body.done()) mp->announced.push_back(read_nlri_prefix(body, family));
+        break;
+      }
+      case kAttrMpUnreach: {
+        if (mp == nullptr) break;
+        const net::IpFamily family = read_mp_family(body, "MP_UNREACH_NLRI");
+        while (!body.done()) mp->withdrawn.push_back(read_nlri_prefix(body, family));
+        break;
+      }
       case kAttrMed:
         out.med = body.u32();
         break;
@@ -206,32 +294,55 @@ bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader) {
 namespace {
 
 std::vector<std::uint8_t> encode_bgp_update_impl(const bgp::UpdateMessage& update,
-                                                 bool two_byte_as_path) {
+                                                 bool two_byte_as_path,
+                                                 const UpdateEncodeOptions& options) {
+  // Split by family: v4 prefixes use the classic WITHDRAWN/NLRI fields,
+  // v6 prefixes the MP_REACH/MP_UNREACH attributes (RFC 4760).
+  std::vector<net::Prefix> v6_announced;
+  std::vector<net::Prefix> v6_withdrawn;
+  for (const auto& p : update.announced) {
+    if (!p.is_v4()) v6_announced.push_back(p);
+  }
+  for (const auto& p : update.withdrawn) {
+    if (!p.is_v4()) v6_withdrawn.push_back(p);
+  }
+
   ByteWriter w;
   // 16-byte marker of all ones.
   for (int i = 0; i < 16; ++i) w.u8(0xFF);
   const std::size_t len_slot = w.reserve_u16();
   w.u8(kBgpMsgUpdate);
-  // Withdrawn routes.
+  // Withdrawn routes (v4 only; v6 withdrawals travel in MP_UNREACH).
   const std::size_t wd_slot = w.reserve_u16();
   const std::size_t wd_start = w.size();
-  for (const auto& p : update.withdrawn) write_nlri_prefix(w, p);
+  for (const auto& p : update.withdrawn) {
+    if (p.is_v4()) write_nlri_prefix(w, p);
+  }
   w.patch_u16(wd_slot, static_cast<std::uint16_t>(w.size() - wd_start));
-  // Path attributes (omitted entirely for pure withdrawals).
+  // Path attributes. A pure-v4 withdrawal carries none; a v6-withdraw-only
+  // update carries a lone MP_UNREACH attribute (the real withdraw shape).
   const std::size_t attrs_slot = w.reserve_u16();
   const std::size_t attrs_start = w.size();
-  if (!update.announced.empty()) encode_attrs(w, update.attrs, two_byte_as_path);
+  if (!update.announced.empty()) {
+    encode_attrs(w, update.attrs, two_byte_as_path, v6_announced, v6_withdrawn,
+                 options);
+  } else if (!v6_withdrawn.empty()) {
+    write_mp_unreach(w, v6_withdrawn);
+  }
   w.patch_u16(attrs_slot, static_cast<std::uint16_t>(w.size() - attrs_start));
-  // NLRI.
-  for (const auto& p : update.announced) write_nlri_prefix(w, p);
+  // Classic NLRI (v4 only).
+  for (const auto& p : update.announced) {
+    if (p.is_v4()) write_nlri_prefix(w, p);
+  }
   w.patch_u16(len_slot, static_cast<std::uint16_t>(w.size()));
   return w.take();
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update) {
-  return encode_bgp_update_impl(update, /*two_byte_as_path=*/false);
+std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update,
+                                            const UpdateEncodeOptions& options) {
+  return encode_bgp_update_impl(update, /*two_byte_as_path=*/false, options);
 }
 
 bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender,
@@ -252,14 +363,21 @@ bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender,
     update.withdrawn.push_back(read_nlri_prefix(withdrawn, net::IpFamily::kIpv4));
   }
   ByteReader attrs = body.sub(body.u16());
+  MpNlriScratch mp;
   if (attrs.remaining() > 0) {
     std::vector<bgp::Asn> hops;
     std::vector<bgp::Asn> as4;
-    decode_path_attributes_into(attrs, update.attrs, two_byte_as_path, hops, as4);
+    decode_path_attributes_into(attrs, update.attrs, two_byte_as_path, hops, as4, &mp);
   }
   while (!body.done()) {
     update.announced.push_back(read_nlri_prefix(body, net::IpFamily::kIpv4));
   }
+  // MP NLRI append after the classic fields: a decoded update lists its
+  // v4 prefixes first, v6 second (the importer emits the same order).
+  update.announced.insert(update.announced.end(), mp.announced.begin(),
+                          mp.announced.end());
+  update.withdrawn.insert(update.withdrawn.end(), mp.withdrawn.begin(),
+                          mp.withdrawn.end());
   return update;
 }
 
@@ -299,15 +417,32 @@ std::optional<RawRecord> read_raw_record(ByteReader& reader) {
   return rec;
 }
 
-std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec) {
+namespace {
+
+/// The BGP4MP peer/local address block: AFI tracks the peer's transport
+/// family — a v6 session records 16-byte addresses (RFC 6396 §4.4).
+void write_bgp4mp_addresses(ByteWriter& body, const net::IpAddress& peer_ip) {
+  if (peer_ip.is_v4()) {
+    body.u16(1);  // address family: IPv4
+    body.u32(peer_ip.v4_value());
+    body.u32(0);  // local IP (collector); not modeled
+  } else {
+    body.u16(2);  // address family: IPv6
+    body.bytes(std::span(peer_ip.bytes().data(), 16));
+    for (int i = 0; i < 16; ++i) body.u8(0);  // local IP; not modeled
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec,
+                                               const UpdateEncodeOptions& options) {
   ByteWriter body;
   body.u32(rec.peer_asn);
   body.u32(rec.local_asn);
   body.u16(0);  // interface index
-  body.u16(1);  // address family: IPv4
-  body.u32(rec.peer_ip.is_v4() ? rec.peer_ip.v4_value() : 0);
-  body.u32(0);  // local IP (collector); not modeled
-  const auto msg = encode_bgp_update(rec.update);
+  write_bgp4mp_addresses(body, rec.peer_ip);
+  const auto msg = encode_bgp_update(rec.update, options);
   body.bytes(msg);
 
   ByteWriter out;
@@ -317,7 +452,8 @@ std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec) {
   return out.take();
 }
 
-std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec) {
+std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec,
+                                                   const UpdateEncodeOptions& options) {
   const auto as2 = [](bgp::Asn asn) {
     return static_cast<std::uint16_t>(asn > 0xFFFF ? kAsTrans : asn);
   };
@@ -325,10 +461,8 @@ std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec) {
   body.u16(as2(rec.peer_asn));
   body.u16(as2(rec.local_asn));
   body.u16(0);  // interface index
-  body.u16(1);  // address family: IPv4
-  body.u32(rec.peer_ip.is_v4() ? rec.peer_ip.v4_value() : 0);
-  body.u32(0);  // local IP (collector); not modeled
-  const auto msg = encode_bgp_update_impl(rec.update, /*two_byte_as_path=*/true);
+  write_bgp4mp_addresses(body, rec.peer_ip);
+  const auto msg = encode_bgp_update_impl(rec.update, /*two_byte_as_path=*/true, options);
   body.bytes(msg);
 
   ByteWriter out;
@@ -336,6 +470,12 @@ std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec) {
                    static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage), rec.timestamp,
                    body.data());
   return out.take();
+}
+
+std::vector<std::uint8_t> encode_update_record_as_set(const UpdateRecord& rec) {
+  UpdateEncodeOptions options;
+  options.as_set_path = true;
+  return encode_update_record(rec, options);
 }
 
 UpdateRecord decode_update_record(const RawRecord& raw) {
@@ -354,9 +494,14 @@ UpdateRecord decode_update_record(const RawRecord& raw) {
   rec.local_asn = as4 ? r.u32() : r.u16();
   r.u16();  // interface index
   const std::uint16_t afi = r.u16();
-  if (afi != 1) throw DecodeError("only IPv4 BGP4MP supported");
-  rec.peer_ip = net::IpAddress::v4(r.u32());
-  r.u32();  // local IP
+  if (afi != 1 && afi != 2) throw DecodeError("bad BGP4MP address family");
+  if (afi == 1) {
+    rec.peer_ip = net::IpAddress::v4(r.u32());
+    r.u32();  // local IP
+  } else {
+    rec.peer_ip = net::IpAddress::from_bytes(net::IpFamily::kIpv6, r.bytes(16).data());
+    r.bytes(16);  // local IP
+  }
   rec.update = decode_bgp_update(r, rec.peer_asn, /*two_byte_as_path=*/!as4);
   rec.update.sent_at = rec.timestamp;
   return rec;

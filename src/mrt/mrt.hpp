@@ -7,8 +7,10 @@
 // RFC for that subset:
 //   * BGP4MP_ET / BGP4MP_MESSAGE_AS4 carrying a BGP UPDATE (IPv4 unicast
 //     NLRI; attributes ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF,
-//     COMMUNITY)
-//   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST with an inline peer index
+//     COMMUNITY, and MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760) for the
+//     IPv6 unicast NLRI real dual-stack collectors emit)
+//   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST + RIB_IPV6_UNICAST with an inline
+//     peer index
 // The BatchFeed uses these files verbatim; bench_micro measures codec
 // throughput.
 #pragma once
@@ -46,6 +48,16 @@ enum class TableDumpV2Subtype : std::uint16_t {
 /// travels in the optional-transitive AS4_PATH attribute.
 inline constexpr bgp::Asn kAsTrans = 23456;
 
+/// Thrown for record shapes this implementation recognizes but does not
+/// model (an AS_SET path segment, an MP AFI/SAFI other than v4/v6
+/// unicast). Derives from DecodeError so legacy callers keep their
+/// fail-the-stream behavior; the streaming importer catches it first and
+/// skips just the offending record (ConvertFileStats::skipped_records).
+class UnsupportedRecord : public DecodeError {
+ public:
+  explicit UnsupportedRecord(const std::string& what) : DecodeError(what) {}
+};
+
 /// A decoded MRT record header plus raw body.
 struct RawRecord {
   SimTime timestamp;  ///< seconds + (for *_ET) microseconds
@@ -70,15 +82,41 @@ struct RibEntryRecord {
   bgp::Route route;
 };
 
-/// Encodes one BGP4MP_ET/MESSAGE_AS4 record (header + body).
-std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec);
+/// Fixture-encoder knobs for the wire shapes real archives contain.
+struct UpdateEncodeOptions {
+  /// MP_REACH_NLRI next-hop length for IPv6 NLRI: 16 (global only) or 32
+  /// (global + link-local, the shape most RIS peers emit).
+  int mp_next_hop_len = 16;
+  /// Write the AS_PATH as a single AS_SET segment (the aggregate shape
+  /// this implementation recognizes but does not model — decoding it
+  /// throws UnsupportedRecord). AS4_PATH emission is suppressed.
+  bool as_set_path = false;
+};
+
+/// Encodes one BGP4MP_ET/MESSAGE_AS4 record (header + body). IPv4
+/// prefixes in `update.announced`/`withdrawn` travel in the classic
+/// NLRI / WITHDRAWN fields; IPv6 prefixes travel in MP_REACH_NLRI /
+/// MP_UNREACH_NLRI path attributes (RFC 4760), exactly as dual-stack
+/// collectors record them. A v6-withdraw-only update encodes a lone
+/// MP_UNREACH attribute and nothing else, the real withdraw shape.
+std::vector<std::uint8_t> encode_update_record(const UpdateRecord& rec,
+                                               const UpdateEncodeOptions& options = {});
 
 /// Encodes one BGP4MP_ET/MESSAGE record as a pre-AS4 speaker would:
 /// 2-byte header ASNs and 2-byte AS_PATH hops with AS_TRANS substituted
 /// for wide ASNs, plus an AS4_PATH attribute carrying the true path when
 /// any hop needs it. Archived RouteViews windows predating AS4 adoption
 /// are full of this shape; the importer's merge test feeds on it.
-std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec);
+std::vector<std::uint8_t> encode_update_record_as2(const UpdateRecord& rec,
+                                                   const UpdateEncodeOptions& options = {});
+
+/// Fixture encoder: a complete, well-framed BGP4MP_ET/MESSAGE_AS4 record
+/// whose AS_PATH is a single AS_SET segment (the aggregate shape this
+/// implementation recognizes but does not model) — shorthand for
+/// encode_update_record with UpdateEncodeOptions::as_set_path. The
+/// importer's record-skip tests and the golden determinism fixture both
+/// feed on it — decoding it throws UnsupportedRecord.
+std::vector<std::uint8_t> encode_update_record_as_set(const UpdateRecord& rec);
 
 /// Decodes the body of a BGP4MP_ET/MESSAGE or MESSAGE_AS4 record
 /// (2-byte AS_PATHs are AS4_PATH-merged per RFC 6793 §4.2.3).
@@ -101,7 +139,11 @@ void write_raw_record(ByteWriter& writer, RecordType type, std::uint16_t subtype
 
 /// Encodes just the BGP UPDATE wire message (RFC 4271 §4.3), without the
 /// MRT envelope. Exposed for tests and for the codec microbenchmarks.
-std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update);
+std::vector<std::uint8_t> encode_bgp_update(const bgp::UpdateMessage& update,
+                                            const UpdateEncodeOptions& options = {});
+/// Decodes a BGP UPDATE. MP_REACH/MP_UNREACH NLRI are appended to
+/// `announced`/`withdrawn` after the classic v4 fields, so a decoded
+/// update carries its v4 prefixes first and its v6 prefixes second.
 bgp::UpdateMessage decode_bgp_update(ByteReader& reader, bgp::Asn sender,
                                      bool two_byte_as_path = false);
 
@@ -115,6 +157,19 @@ bgp::PathAttributes decode_path_attributes(ByteReader& attrs_reader);
 void write_nlri_prefix(ByteWriter& writer, const net::Prefix& prefix);
 net::Prefix read_nlri_prefix(ByteReader& reader, net::IpFamily family);
 
+/// Caller-owned staging area for multiprotocol NLRI (RFC 4760): prefixes
+/// carried in MP_REACH_NLRI / MP_UNREACH_NLRI attributes land here during
+/// decode_path_attributes_into, reusing capacity across records.
+struct MpNlriScratch {
+  std::vector<net::Prefix> announced;
+  std::vector<net::Prefix> withdrawn;
+
+  void clear() {
+    announced.clear();
+    withdrawn.clear();
+  }
+};
+
 /// Allocation-reusing decode: fills `out` in place (clearing it first)
 /// and stages AS hops in the caller-owned scratch vectors, so a warmed-up
 /// import loop touches no heap. With `two_byte_as_path` the mandatory
@@ -122,9 +177,16 @@ net::Prefix read_nlri_prefix(ByteReader& reader, net::IpFamily family);
 /// present, the two are merged per RFC 6793 §4.2.3: the AS4_PATH rewrites
 /// the tail of the AS_PATH, excess leading (oldest-speaker) hops survive,
 /// and an over-long AS4_PATH is ignored entirely.
+///
+/// With `mp` non-null, MP_REACH/MP_UNREACH NLRI (cleared first) decode
+/// into it — v4 and v6 unicast AFIs, 16- and 32-byte v6 next hops; any
+/// other AFI/SAFI throws UnsupportedRecord. With `mp` null the MP
+/// attributes are skipped whole, which is exactly right for TABLE_DUMP_V2
+/// RIB entries (RFC 6396 abbreviates MP_REACH there to a bare next hop).
 void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& out,
                                  bool two_byte_as_path,
                                  std::vector<bgp::Asn>& hops_scratch,
-                                 std::vector<bgp::Asn>& as4_scratch);
+                                 std::vector<bgp::Asn>& as4_scratch,
+                                 MpNlriScratch* mp = nullptr);
 
 }  // namespace artemis::mrt

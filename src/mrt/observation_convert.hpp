@@ -64,9 +64,14 @@ struct ObservationConvertOptions {
 };
 
 struct ConvertFileStats {
-  std::uint64_t records = 0;       ///< complete MRT records consumed
+  std::uint64_t records = 0;       ///< complete MRT records converted
   std::uint64_t observations = 0;  ///< observations emitted for this file
   std::uint64_t bytes_consumed = 0;  ///< bytes of complete records
+  /// Complete records skipped whole for shapes we recognize but do not
+  /// model (AS_SET path segments, exotic MP AFI/SAFIs). The file keeps
+  /// converting at the next record — real archives sprinkle a handful of
+  /// AS_SET updates through an otherwise clean window.
+  std::uint64_t skipped_records = 0;
   bool truncated = false;  ///< file ended mid-record (clean partial stop)
   std::string error;       ///< non-empty: malformed record stopped the file
 
@@ -85,8 +90,21 @@ class ObservationConverter {
   /// the monotone import clock, the interned source table — persists;
   /// the TABLE_DUMP_V2 peer index resets per file, as the format
   /// requires. Never throws on truncated input (see ConvertFileStats).
+  /// Equivalent to begin_file() + feed(data) + finish_file().
   ConvertFileStats convert_file(std::span<const std::uint8_t> data,
                                 const feeds::ObservationBatchHandler& sink);
+
+  /// Chunked variant for sources that cannot hand over one contiguous
+  /// span — a streaming gzip/bz2 decompressor most of all. Records may
+  /// straddle chunk boundaries arbitrarily: complete records convert
+  /// in place (zero copy), the partial tail is carried into the next
+  /// feed(). The truncation contract is per *file*: finish_file()
+  /// reports a leftover partial record as `truncated`. After a hard
+  /// decode error the rest of the file is swallowed cheaply.
+  void begin_file();
+  void feed(std::span<const std::uint8_t> chunk,
+            const feeds::ObservationBatchHandler& sink);
+  ConvertFileStats finish_file(const feeds::ObservationBatchHandler& sink);
 
   std::uint64_t observations_emitted() const { return emitted_; }
   std::size_t source_table_size() const { return sources_.size(); }
@@ -106,6 +124,11 @@ class ObservationConverter {
                            std::int64_t event_us);
   void flush(const feeds::ObservationBatchHandler& sink);
 
+  /// Converts one complete record (`total` bytes starting at the common
+  /// header). Returns false when a hard decode error stopped the file.
+  bool process_record(const std::uint8_t* p, std::size_t total,
+                      const feeds::ObservationBatchHandler& sink);
+
   void convert_bgp4mp(ByteReader body, bool as4, std::int64_t event_us);
   void convert_peer_index(ByteReader body);
   void convert_rib(ByteReader body, net::IpFamily family, std::int64_t event_us);
@@ -117,7 +140,12 @@ class ObservationConverter {
   bgp::PathAttributes scratch_attrs_;
   std::vector<bgp::Asn> hops_scratch_;
   std::vector<bgp::Asn> as4_scratch_;
+  MpNlriScratch mp_scratch_;
   std::vector<net::Prefix> withdrawn_scratch_;
+  // Per-file chunk state (begin_file .. finish_file).
+  ConvertFileStats file_stats_;
+  std::vector<std::uint8_t> carry_;  ///< partial record straddling chunks
+  bool stopped_ = false;  ///< hard error: swallow the rest of the file
   std::int64_t clock_us_ = 0;
   std::uint64_t emitted_ = 0;
 };
@@ -128,6 +156,7 @@ struct MrtImportResult {
   std::uint64_t truncated_files = 0;  ///< imported up to a torn tail
   std::uint64_t failed_files = 0;     ///< stopped early on a malformed record
   std::uint64_t records = 0;
+  std::uint64_t skipped_records = 0;  ///< unsupported shapes skipped whole
   std::uint64_t observations = 0;
   std::uint64_t mrt_bytes = 0;      ///< complete-record MRT bytes consumed
   std::uint64_t journal_bytes = 0;  ///< encoded bytes written to the journal
@@ -141,6 +170,10 @@ struct MrtImportResult {
 /// JournalWriter) and closes it. Files are imported in argument order;
 /// truncated or malformed files contribute their complete records and
 /// are tallied, so the resulting journal is always clean and readable.
+/// gzip'd and bzip2'd files are decompressed transparently (sniffed by
+/// magic, streamed in O(chunk) memory — see mrt/stream_reader.hpp); a
+/// torn compressed stream imports every record recovered before the tear
+/// and counts as a truncated file.
 /// Throws journal::JournalError (unwritable dir, foreign journal) or
 /// std::runtime_error (unreadable input file).
 MrtImportResult import_mrt_files(std::span<const std::string> paths,

@@ -26,19 +26,25 @@
 //
 // Stride tables
 // -------------
-// Once the arena outgrows a threshold, direct-indexed tables over the
-// top S bits of the IPv4 key space (the DIR-24-8 / poptrie recipe) map
-// every S-bit chunk to {deepest trie node on that path, deepest *valued*
-// node on that path}. A lookup or descent for a key of length >= S then
-// starts S bits down with the covering best already in hand — one table
-// load replaces the entire dense upper region of the trie. Tables form a
-// cascade (S = 8, 10, 12, 14, 16, 20 — kStrideSchedule — added as the
-// trie grows) and an operation
-// uses the largest stride <= its key length, so short-prefix inserts and
-// erases skip the dense region too, not just full-address lookups. Small
-// tries — the simulator keeps thousands of per-AS RIBs — never allocate
-// any table. IPv6 always uses the plain descent (v6 tables are sparse
-// enough that path compression alone carries them).
+// Once a family's subtrie outgrows a threshold, direct-indexed tables
+// over the top S bits of that family's key space (the DIR-24-8 /
+// poptrie recipe) map every S-bit chunk to {deepest trie node on that
+// path, deepest *valued* node on that path}. A lookup or descent for a
+// key of length >= S then starts S bits down with the covering best
+// already in hand — one table load replaces the entire dense upper
+// region of the trie. Tables form a per-family cascade added as the
+// subtrie grows — v4: S = 8, 10, 12, 14, 16, 20 (kStrideSchedule4);
+// v6: S = 16, 20, 24 over the top bits of the upper 64-bit word
+// (kStrideSchedule6) — and an operation uses the largest stride <= its
+// key length, so short-prefix inserts and erases skip the dense region
+// too, not just full-address lookups. The v6 strides stop at 24: a
+// direct table on the /32 or /48 allocation boundaries would need 2^32+
+// slots, while S = 24 (16M slots, sized like DIR-24-8's primary table)
+// already absorbs the RIR /12s and the dense bits below them; path
+// compression carries the sparse remainder. Small tries — the simulator
+// keeps thousands of per-AS RIBs — never allocate any table, and each
+// family activates on its own node count, so a large v4 RIB with a
+// handful of v6 routes builds no v6 table.
 //
 // Zero-allocation invariant: find(), lookup(), lookup_covering() and the
 // visit_* walks never allocate. insert() allocates only when it creates
@@ -125,9 +131,10 @@ class PrefixTrie {
     free_values_.push_back(nodes_[idx].value);
     nodes_[idx].value = kNil;
     --size_;
-    if (!tables_.empty() && prefix.is_v4() &&
-        nodes_[idx].len <= tables_.back().stride) {
-      table_erase_value(idx);
+    const bool v4 = prefix.is_v4();
+    const FamilyState& f = fam(v4);
+    if (!f.tables.empty() && nodes_[idx].len <= f.tables.back().stride) {
+      table_erase_value(idx, v4);
     }
     return true;
   }
@@ -232,10 +239,26 @@ class PrefixTrie {
     nodes_.clear();
     values_.clear();
     free_values_.clear();
-    tables_.clear();
-    table_by_len_.fill(-1);
+    for (FamilyState& f : fam_) {
+      f.tables.clear();
+      f.by_len.fill(-1);
+      f.nodes = 0;
+    }
     size_ = 0;
     init_roots();
+  }
+
+  /// Benchmark/test knob: with stride tables off every operation uses the
+  /// plain path-compressed descent (the pre-cascade behavior). Call on an
+  /// empty trie; existing tables are dropped and none are built.
+  void set_stride_tables_enabled(bool enabled) {
+    tables_enabled_ = enabled;
+    if (!enabled) {
+      for (FamilyState& f : fam_) {
+        f.tables.clear();
+        f.by_len.fill(-1);
+      }
+    }
   }
 
  private:
@@ -261,17 +284,39 @@ class PrefixTrie {
 
   struct StrideTable {
     int stride = 0;
-    std::vector<Slot> slots;  ///< size 1 << stride
+    std::uint32_t root = kRoot4;  ///< family root (the default jump target)
+    std::vector<Slot> slots;      ///< size 1 << stride
 
     std::uint32_t slot_of(std::uint64_t hi) const {
       return static_cast<std::uint32_t>(hi >> (64 - stride));
     }
-    /// First slot / slot count covered by a canonical v4 key of `len`
-    /// (<= stride) bits.
+    /// First slot / slot count covered by a canonical key of `len`
+    /// (<= stride) bits. Both families index by the top bits of the
+    /// upper 64-bit word (IPv4 occupies its top 32 bits).
     std::pair<std::uint32_t, std::uint32_t> range(std::uint64_t hi, int len) const {
       return {slot_of(hi), std::uint32_t{1} << (stride - len)};
     }
   };
+
+  /// Per-family cascade state: its stride tables, the len -> table index
+  /// shortcut, and how many arena nodes the family's subtrie holds (the
+  /// activation gauge — each family pays for tables only at its own
+  /// scale).
+  struct FamilyState {
+    std::vector<StrideTable> tables;  ///< ascending stride
+    /// Index into tables of the largest stride <= len, -1 if none; one
+    /// load replaces scanning the cascade on every operation. Indexed by
+    /// min(len, 64) — all strides fit the upper word.
+    std::array<std::int8_t, 65> by_len = [] {
+      std::array<std::int8_t, 65> a{};
+      a.fill(-1);
+      return a;
+    }();
+    std::size_t nodes = 0;  ///< nodes created for this family (never freed)
+  };
+
+  FamilyState& fam(bool v4) { return fam_[v4 ? 0 : 1]; }
+  const FamilyState& fam(bool v4) const { return fam_[v4 ? 0 : 1]; }
 
   static std::uint32_t root_index(IpFamily f) {
     return f == IpFamily::kIpv4 ? kRoot4 : kRoot6;
@@ -316,36 +361,47 @@ class PrefixTrie {
 
   // ------------------------------------------------------------ stride tables
 
-  /// Arena sizes at which each table of the cascade is added. The dense
-  /// 2-bit spacing keeps any key of length >= 8 within two levels of a
-  /// table jump. Small tries (the simulator keeps thousands of them)
-  /// never allocate any.
-  static constexpr struct {
+  struct StrideStep {
     std::size_t nodes;
     int stride;
-  } kStrideSchedule[] = {{1024, 8},   {1024, 10},    {1024, 12},
-                         {1024, 14},  {65536, 16},   {1048576, 20}};
+  };
 
-  /// The largest-stride table usable for a key of `len` bits, or nullptr.
-  const StrideTable* table_for(int len) const {
-    const int ti = table_by_len_[len > 32 ? 32 : len];
-    return ti < 0 ? nullptr : &tables_[static_cast<std::size_t>(ti)];
+  /// Family-subtrie sizes at which each table of the v4 cascade is added.
+  /// The dense 2-bit spacing keeps any key of length >= 8 within two
+  /// levels of a table jump. Small tries (the simulator keeps thousands
+  /// of them) never allocate any.
+  static constexpr StrideStep kStrideSchedule4[] = {{1024, 8},   {1024, 10},
+                                                    {1024, 12},  {1024, 14},
+                                                    {65536, 16}, {1048576, 20}};
+  /// The v6 cascade over the top bits of the upper word. S = 24 is the
+  /// ceiling (16M slots × 8 B = 128 MB, the DIR-24-8 primary-table
+  /// shape); it activates only for genuinely large tables, where it
+  /// absorbs the dense RIR /12 region that dominates real v6 RIBs.
+  static constexpr StrideStep kStrideSchedule6[] = {{1024, 16},
+                                                    {16384, 20},
+                                                    {262144, 24}};
+
+  /// The largest-stride table usable for a `len`-bit key of the family,
+  /// or nullptr.
+  const StrideTable* table_for(int len, bool v4) const {
+    const FamilyState& f = fam(v4);
+    const int ti = f.by_len[len > 64 ? 64 : len];
+    return ti < 0 ? nullptr : &f.tables[static_cast<std::size_t>(ti)];
   }
 
-  /// Where a descent for a v4 key of length `len` may start: every node
+  /// Where a descent for a key of length `len` may start: every node
   /// above the chosen slot's jump target provably matches the key.
   std::uint32_t start_node(std::uint64_t hi, int len, bool v4) const {
-    if (v4) {
-      if (const StrideTable* t = table_for(len)) return t->slots[t->slot_of(hi)].jump;
-      return kRoot4;
+    if (const StrideTable* t = table_for(len, v4)) {
+      return t->slots[t->slot_of(hi)].jump;
     }
-    return kRoot6;
+    return v4 ? kRoot4 : kRoot6;
   }
 
-  /// Registers a freshly created v4 node with every table it fits.
-  void table_add_node(std::uint32_t idx) {
+  /// Registers a freshly created node with every family table it fits.
+  void table_add_node(std::uint32_t idx, bool v4) {
     const Node& n = nodes_[idx];
-    for (auto& t : tables_) {
+    for (auto& t : fam(v4).tables) {
       if (n.len > t.stride) continue;
       const auto [first, count] = t.range(n.key_hi, n.len);
       for (std::uint32_t s = first; s < first + count; ++s) {
@@ -354,10 +410,10 @@ class PrefixTrie {
     }
   }
 
-  /// Registers a v4 node that just gained a value.
-  void table_add_value(std::uint32_t idx) {
+  /// Registers a node that just gained a value.
+  void table_add_value(std::uint32_t idx, bool v4) {
     const Node& n = nodes_[idx];
-    for (auto& t : tables_) {
+    for (auto& t : fam(v4).tables) {
       if (n.len > t.stride) continue;
       const auto [first, count] = t.range(n.key_hi, n.len);
       for (std::uint32_t s = first; s < first + count; ++s) {
@@ -368,20 +424,20 @@ class PrefixTrie {
     }
   }
 
-  /// Unregisters a v4 node whose value was just erased. All affected slots
+  /// Unregisters a node whose value was just erased. All affected slots
   /// share the node's root path, so the replacement — the deepest valued
   /// proper ancestor — is the same for every one of them.
-  void table_erase_value(std::uint32_t idx) {
+  void table_erase_value(std::uint32_t idx, bool v4) {
     const Node& n = nodes_[idx];
     std::uint32_t replacement = kNil;
-    std::uint32_t cur = kRoot4;
+    std::uint32_t cur = v4 ? kRoot4 : kRoot6;
     while (cur != idx) {
       const Node& a = nodes_[cur];
       if (a.value != kNil) replacement = cur;
       cur = a.child[key_bit(n.key_hi, n.key_lo, a.len)];
       assert(cur != kNil);  // idx is reachable from the root by construction
     }
-    for (auto& t : tables_) {
+    for (auto& t : fam(v4).tables) {
       if (n.len > t.stride) continue;
       const auto [first, count] = t.range(n.key_hi, n.len);
       for (std::uint32_t s = first; s < first + count; ++s) {
@@ -390,18 +446,26 @@ class PrefixTrie {
     }
   }
 
-  /// Adds the tables whose arena-size threshold has been crossed.
-  void maybe_grow_tables() {
-    for (const auto& step : kStrideSchedule) {
-      if (nodes_.size() < step.nodes) break;
-      if (!tables_.empty() && tables_.back().stride >= step.stride) continue;
+  /// Adds the family's tables whose subtrie-size threshold has been
+  /// crossed.
+  void maybe_grow_tables(bool v4) {
+    if (!tables_enabled_) return;
+    const StrideStep* schedule = v4 ? kStrideSchedule4 : kStrideSchedule6;
+    const std::size_t steps =
+        v4 ? std::size(kStrideSchedule4) : std::size(kStrideSchedule6);
+    FamilyState& f = fam(v4);
+    for (std::size_t i = 0; i < steps; ++i) {
+      const StrideStep& step = schedule[i];
+      if (f.nodes < step.nodes) break;
+      if (!f.tables.empty() && f.tables.back().stride >= step.stride) continue;
       StrideTable t;
       t.stride = step.stride;
-      t.slots.assign(std::size_t{1} << step.stride, Slot{});
-      tables_.push_back(std::move(t));
-      rebuild_table(tables_.back(), kRoot4);
-      for (int len = step.stride; len <= 32; ++len) {
-        table_by_len_[len] = static_cast<std::int8_t>(tables_.size() - 1);
+      t.root = v4 ? kRoot4 : kRoot6;
+      t.slots.assign(std::size_t{1} << step.stride, Slot{t.root, kNil});
+      f.tables.push_back(std::move(t));
+      rebuild_table(f.tables.back(), f.tables.back().root);
+      for (int len = step.stride; len <= 64; ++len) {
+        f.by_len[len] = static_cast<std::int8_t>(f.tables.size() - 1);
       }
     }
   }
@@ -411,7 +475,7 @@ class PrefixTrie {
   void rebuild_table(StrideTable& t, std::uint32_t idx) {
     const Node& n = nodes_[idx];
     if (n.len > t.stride) return;
-    if (idx != kRoot4) {
+    if (idx != t.root) {
       const auto [first, count] = t.range(n.key_hi, n.len);
       for (std::uint32_t s = first; s < first + count; ++s) t.slots[s].jump = idx;
     }
@@ -433,7 +497,9 @@ class PrefixTrie {
     n.len = static_cast<std::uint8_t>(len);
     nodes_.push_back(n);
     const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
-    if (!tables_.empty() && v4) table_add_node(idx);
+    FamilyState& f = fam(v4);
+    f.nodes += 1;
+    if (!f.tables.empty()) table_add_node(idx, v4);
     return idx;
   }
 
@@ -452,8 +518,8 @@ class PrefixTrie {
       values_.emplace_back(std::in_place, std::move(value));
     }
     ++size_;
-    if (!tables_.empty() && v4) table_add_value(idx);
-    maybe_grow_tables();
+    if (!fam(v4).tables.empty()) table_add_value(idx, v4);
+    maybe_grow_tables(v4);
     return true;
   }
 
@@ -481,12 +547,10 @@ class PrefixTrie {
                              bool v4) const {
     std::uint32_t cur = v4 ? kRoot4 : kRoot6;
     std::uint32_t best = kNil;
-    if (v4) {
-      if (const StrideTable* t = table_for(total)) {
-        const Slot slot = t->slots[t->slot_of(hi)];
-        cur = slot.jump;
-        best = slot.best;
-      }
+    if (const StrideTable* t = table_for(total, v4)) {
+      const Slot slot = t->slots[t->slot_of(hi)];
+      cur = slot.jump;
+      best = slot.best;
     }
     for (;;) {
       const Node& n = nodes_[cur];
@@ -518,14 +582,8 @@ class PrefixTrie {
   std::vector<Node> nodes_;                 ///< arena; 0/1 are the family roots
   std::deque<std::optional<T>> values_;     ///< stable value slots
   std::vector<std::uint32_t> free_values_;  ///< recycled slots from erase()
-  std::vector<StrideTable> tables_;         ///< cascade, ascending stride
-  /// Index into tables_ of the largest stride <= len, -1 if none; one
-  /// load replaces scanning the cascade on every operation.
-  std::array<std::int8_t, 33> table_by_len_ = [] {
-    std::array<std::int8_t, 33> a{};
-    a.fill(-1);
-    return a;
-  }();
+  FamilyState fam_[2];                      ///< [0] IPv4, [1] IPv6 cascade state
+  bool tables_enabled_ = true;              ///< bench/test knob (see setter)
   std::size_t size_ = 0;
 };
 

@@ -264,6 +264,11 @@ TEST(DetectionAllocTest, SteadyStateMrtImportIsAllocationFree) {
       window.insert(window.end(), bytes.begin(), bytes.end());
       const auto more = record(8, 100 + i, "10.0.1.0/24", {8, 1299, 65001});
       window.insert(window.end(), more.begin(), more.end());
+      // Dual-stack record: the MP_REACH/MP_UNREACH decode path (v6 NLRI
+      // staged through MpNlriScratch) is part of the same contract.
+      const auto v6 =
+          record(9, 100 + i, "2001:db8::/32", {9, 3356, 667}, "2001:db8:dead::/48");
+      window.insert(window.end(), v6.begin(), v6.end());
     }
   }
 
@@ -276,12 +281,13 @@ TEST(DetectionAllocTest, SteadyStateMrtImportIsAllocationFree) {
   // Prime: interns the two peer sources, grows batch/scratch capacity.
   const auto primed = converter.convert_file(window, sink);
   ASSERT_TRUE(primed.clean());
-  ASSERT_EQ(primed.observations, 24u);  // 8 x (2 elems) + 8 x (1 elem)
+  // 8 x (2 elems) + 8 x (1 elem) + 8 x (2 v6 elems via MP attributes).
+  ASSERT_EQ(primed.observations, 40u);
 
   const std::size_t before = g_allocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 1000; ++i) {
     const auto stats = converter.convert_file(window, sink);
-    if (!stats.clean() || stats.observations != 24u) {
+    if (!stats.clean() || stats.observations != 40u) {
       FAIL() << "conversion changed shape mid-loop";
     }
   }
@@ -290,8 +296,8 @@ TEST(DetectionAllocTest, SteadyStateMrtImportIsAllocationFree) {
       << "steady-state MRT convert -> journal append allocated";
 
   writer.close();
-  EXPECT_EQ(converter.observations_emitted(), 24u * 1001u);
-  EXPECT_EQ(writer.records_written(), 24u * 1001u);
+  EXPECT_EQ(converter.observations_emitted(), 40u * 1001u);
+  EXPECT_EQ(writer.records_written(), 40u * 1001u);
 }
 
 TEST(DetectionAllocTest, SteadyStateShardedInlineSubmitIsAllocationFree) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# The CI replay-determinism gate (ISSUE 5): proves on every compiler in
+# the matrix that the compressed dual-stack pipeline is bit-identical,
+# end to end, against fixtures committed to the repo:
+#
+#   1. importing the committed gzip'd dual-stack window reproduces the
+#      committed golden journal BYTE FOR BYTE (decode + monotone clock +
+#      journal encoder determinism, through the gzip transport);
+#   2. replaying the committed journal at shards 1 and 4 yields the
+#      committed canonical alert list (replay + sharded detection
+#      determinism — any N, same merged output);
+#   3. the freshly imported journal replays to the same alerts too.
+#
+# Regenerate fixtures with tests/golden/make_golden.sh after an
+# INTENTIONAL format/importer change.
+#
+# Usage: tests/golden/check_replay.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GOLD_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+OWNED=(--owned 10.0.0.0/23=65001
+       --owned 192.0.2.0/24=65002
+       --owned 2001:db8::/32=65003)
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. Fresh import of the committed compressed window == committed journal.
+"$BUILD_DIR/mrt2journal" --journal "$tmp/journal" \
+  "$GOLD_DIR/dual_stack.mrt.gz" > "$tmp/import.json"
+diff <(cd "$GOLD_DIR/journal" && ls) <(cd "$tmp/journal" && ls)
+for seg in "$GOLD_DIR"/journal/*; do
+  cmp "$seg" "$tmp/journal/$(basename "$seg")"
+done
+echo "ok: fresh import reproduces the golden journal byte-for-byte"
+
+# 2. Committed journal replays to the committed alerts at shards 1 and 4.
+for shards in 1 4; do
+  "$BUILD_DIR/journal_alerts" --journal "$GOLD_DIR/journal" "${OWNED[@]}" \
+    --shards "$shards" > "$tmp/alerts_$shards.txt"
+  diff "$GOLD_DIR/alerts.txt" "$tmp/alerts_$shards.txt"
+done
+echo "ok: golden journal replays bit-identically at shards 1 and 4"
+
+# 3. The fresh journal replays to the same alerts.
+"$BUILD_DIR/journal_alerts" --journal "$tmp/journal" "${OWNED[@]}" \
+  --shards 4 > "$tmp/alerts_fresh.txt"
+diff "$GOLD_DIR/alerts.txt" "$tmp/alerts_fresh.txt"
+echo "ok: freshly imported journal replays to the golden alerts"
+
+echo "replay-determinism gate passed"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the replay-determinism golden fixtures from scratch:
+#
+#   dual_stack.mrt.gz  — the canonical gzip'd dual-stack MRT window
+#                        (tools/mrt_fixture, fully deterministic)
+#   journal/           — that window imported by mrt2journal
+#   alerts.txt         — canonical merged alerts from replaying journal/
+#                        through detection (tools/journal_alerts)
+#
+# Run this ONLY when the journal format, the importer's output, or the
+# fixture window changes intentionally — the whole point of the committed
+# copies is that CI (tests/golden/check_replay.sh) fails when any of
+# those change by accident.
+#
+# Usage: tests/golden/make_golden.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GOLD_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+"$BUILD_DIR/mrt_fixture" --gzip --out "$GOLD_DIR/dual_stack.mrt.gz"
+
+rm -rf "$GOLD_DIR/journal"
+"$BUILD_DIR/mrt2journal" --journal "$GOLD_DIR/journal" \
+  "$GOLD_DIR/dual_stack.mrt.gz" > /dev/null
+
+"$BUILD_DIR/journal_alerts" --journal "$GOLD_DIR/journal" \
+  --owned 10.0.0.0/23=65001 \
+  --owned 192.0.2.0/24=65002 \
+  --owned 2001:db8::/32=65003 \
+  --shards 1 > "$GOLD_DIR/alerts.txt"
+
+echo "golden fixtures regenerated under $GOLD_DIR:"
+ls -la "$GOLD_DIR/journal"
+cat "$GOLD_DIR/alerts.txt"

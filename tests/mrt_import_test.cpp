@@ -23,6 +23,10 @@
 #include "mrt/stream_reader.hpp"
 #include "pipeline/sharded_detector.hpp"
 
+#ifdef ARTEMIS_HAVE_BZIP2
+#include <bzlib.h>
+#endif
+
 namespace artemis::mrt {
 namespace {
 
@@ -82,8 +86,10 @@ void append(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& byt
 /// The fixture window: per-record MRT byte blobs (so truncation tests can
 /// cut at known boundaries) covering every record flavor the importer
 /// handles — 4-byte updates (announce, withdraw, mixed), a pre-AS4
-/// 2-byte record needing the AS4_PATH merge, a v4 RIB snapshot and a v6
-/// RIB snapshot. Timestamps increase monotonically.
+/// 2-byte record needing the AS4_PATH merge, a v4 RIB snapshot, a v6
+/// RIB snapshot, and the dual-stack update shapes (MP_REACH/MP_UNREACH
+/// with both next-hop lengths, a v6-withdraw-only update, v6 NLRI in a
+/// pre-AS4 record). Timestamps increase monotonically.
 std::vector<std::vector<std::uint8_t>> fixture_records() {
   std::vector<std::vector<std::uint8_t>> records;
   // Hijack of owned /23 (offender 666) seen by peer 9.
@@ -110,6 +116,26 @@ std::vector<std::vector<std::uint8_t>> fixture_records() {
       {make_rib_entry(9, 106, "2001:db8::/32", {9, 3356, 667}),
        make_rib_entry(9, 106, "2001:db8:ffff::/48", {9, 3356, 667})},
       SimTime::at_seconds(106)));
+  // MP_REACH v6 sub-prefix hijack in an update stream (not a RIB dump).
+  records.push_back(encode_update_record(
+      make_update(9, 107, {"2001:db8:dead::/48"}, {9, 3356, 667})));
+  // Dual-stack update with the 32-byte (global + link-local) next hop:
+  // v4 sub-prefix hijack and v6 exact hijack in one record, plus an
+  // MP_UNREACH withdrawal riding along.
+  {
+    UpdateEncodeOptions nh32;
+    nh32.mp_next_hop_len = 32;
+    records.push_back(encode_update_record(
+        make_update(8, 108, {"10.0.1.0/24", "2001:db8::/32"}, {8, 1299, 667},
+                    {"2001:db8:aaaa::/48"}),
+        nh32));
+  }
+  // v6-withdraw-only update: a lone MP_UNREACH attribute, nothing else.
+  records.push_back(
+      encode_update_record(make_update(9, 109, {}, {}, {"2001:db8:dead::/48"})));
+  // v6 NLRI announced by a pre-AS4 speaker (AS4_PATH merge + MP_REACH).
+  records.push_back(encode_update_record_as2(
+      make_update(7, 110, {"2001:db8:ffff::/48"}, {7, 70000, 667})));
   return records;
 }
 
@@ -208,8 +234,9 @@ TEST(MrtConvertTest, ConverterMatchesElemReaderAdapter) {
   ConvertFileStats stats;
   const auto converted = convert_to_vector(converter, window, &stats);
   EXPECT_TRUE(stats.clean());
-  // 4 update records + 2 dumps of (1 peer index + 2 RIB records) each.
-  EXPECT_EQ(stats.records, 10u);
+  // 8 update records + 2 dumps of (1 peer index + 2 RIB records) each.
+  EXPECT_EQ(stats.records, 14u);
+  EXPECT_EQ(stats.skipped_records, 0u);
   EXPECT_EQ(stats.bytes_consumed, window.size());
   EXPECT_EQ(stats.observations, converted.size());
 
@@ -495,6 +522,277 @@ TEST(MrtImportTest, V6HijackDetectedThroughImportAndReplay) {
   EXPECT_EQ(alerts[0].owned_prefix, net::Prefix::must_parse("2001:db8::/32"));
   EXPECT_EQ(alerts[0].source, "mrt:AS9");
 }
+
+// ------------------------------------------- MP truncation + skip recovery
+
+TEST(MrtImportTest, MpRecordTruncationCutsProduceCleanPartialImport) {
+  // Cut the dual-stack nh-32 record (records[7]) at EVERY byte offset:
+  // mid-header, mid-MP_REACH next hop, mid-NLRI, mid-MP_UNREACH — each
+  // cut must yield exactly the first seven records' observations and a
+  // truncated (not errored) file.
+  const auto records = fixture_records();
+  std::vector<std::uint8_t> intact;
+  for (std::size_t i = 0; i < 7; ++i) append(intact, records[i]);
+  ConvertFileStats intact_stats;
+  std::uint64_t expected_obs = 0;
+  {
+    ObservationConverter counter;
+    expected_obs = convert_to_vector(counter, intact, &intact_stats).size();
+  }
+  const auto& cut_record = records[7];
+  for (std::size_t keep = 1; keep < cut_record.size(); ++keep) {
+    auto bytes = intact;
+    bytes.insert(bytes.end(), cut_record.begin(),
+                 cut_record.begin() + static_cast<std::ptrdiff_t>(keep));
+    ObservationConverter converter;
+    ConvertFileStats stats;
+    const auto obs = convert_to_vector(converter, bytes, &stats);
+    ASSERT_TRUE(stats.truncated) << "keep=" << keep;
+    ASSERT_TRUE(stats.error.empty()) << "keep=" << keep << ": " << stats.error;
+    ASSERT_EQ(stats.records, intact_stats.records) << "keep=" << keep;
+    ASSERT_EQ(obs.size(), expected_obs) << "keep=" << keep;
+    ASSERT_EQ(stats.bytes_consumed, intact.size()) << "keep=" << keep;
+  }
+}
+
+/// A complete, well-framed UPDATE record whose AS_PATH is an AS_SET
+/// segment — the aggregate shape we recognize but do not model. Announces
+/// the owned /23, so skipping (vs mis-importing) is observable.
+std::vector<std::uint8_t> as_set_update_record(bgp::Asn peer, double at_seconds) {
+  return encode_update_record_as_set(
+      make_update(peer, at_seconds, {"10.0.0.0/23"}, {65001, 65002}));
+}
+
+TEST(MrtImportTest, AsSetRecordSkipsAndFileContinues) {
+  const auto records = fixture_records();
+  std::vector<std::uint8_t> bytes;
+  append(bytes, records[0]);
+  append(bytes, as_set_update_record(9, 101));
+  append(bytes, records[1]);  // must still convert
+
+  ObservationConverter converter;
+  ConvertFileStats stats;
+  const auto obs = convert_to_vector(converter, bytes, &stats);
+  EXPECT_TRUE(stats.clean());  // skips do not dirty the file
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.skipped_records, 1u);
+  EXPECT_EQ(stats.bytes_consumed, bytes.size());
+
+  // Observation stream == the same window without the AS_SET record.
+  std::vector<std::uint8_t> without;
+  append(without, records[0]);
+  append(without, records[1]);
+  ObservationConverter reference;
+  const auto expected = convert_to_vector(reference, without);
+  ASSERT_EQ(obs.size(), expected.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    SCOPED_TRACE("observation " + std::to_string(i));
+    expect_same_observation(obs[i], expected[i]);
+  }
+}
+
+TEST(MrtImportTest, SkippedRecordsSurfaceInImportResult) {
+  const auto records = fixture_records();
+  std::vector<std::uint8_t> bytes;
+  append(bytes, records[0]);
+  append(bytes, as_set_update_record(9, 101));
+  append(bytes, records[1]);
+  const std::string src_dir = fresh_dir("skip_src");
+  const std::string journal_dir = fresh_dir("skip_j");
+  const std::string paths[] = {write_file(src_dir, "w.mrt", bytes)};
+  const auto result = import_mrt_files(paths, journal_dir);
+  EXPECT_EQ(result.files, 1u);  // still a cleanly imported file
+  EXPECT_EQ(result.truncated_files, 0u);
+  EXPECT_EQ(result.failed_files, 0u);
+  EXPECT_EQ(result.records, 2u);
+  EXPECT_EQ(result.skipped_records, 1u);
+  ASSERT_EQ(result.file_errors.size(), 1u);
+  EXPECT_NE(result.file_errors[0].find("skipped 1 unsupported record"),
+            std::string::npos);
+
+  journal::JournalReader reader(journal_dir);
+  pipeline::ObservationBatch batch;
+  std::uint64_t read = 0;
+  while (const auto n = reader.read_batch(batch, 64)) read += n;
+  EXPECT_EQ(read, result.observations);
+  EXPECT_FALSE(reader.truncated_tail());
+}
+
+// ------------------------------------------------- compressed transport
+
+#ifdef ARTEMIS_HAVE_ZLIB
+std::vector<std::uint8_t> gzip_bytes(std::span<const std::uint8_t> in) {
+  return gzip_compress(in);
+}
+
+/// Journal segment bytes, keyed by file name (for bit-identity checks).
+std::vector<std::pair<std::string, std::vector<char>>> journal_bytes(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, std::vector<char>>> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    out.emplace_back(entry.path().filename().string(),
+                     std::vector<char>((std::istreambuf_iterator<char>(in)),
+                                       std::istreambuf_iterator<char>()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(MrtImportTest, GzipImportBitIdenticalToRaw) {
+  const auto window = fixture_window();
+  const auto gz = gzip_bytes(window);
+  const std::string src_dir = fresh_dir("gz_src");
+  const std::string raw_j = fresh_dir("gz_raw_j");
+  const std::string gz_j = fresh_dir("gz_gz_j");
+  const std::string raw_paths[] = {write_file(src_dir, "w.mrt", window)};
+  const std::string gz_paths[] = {write_file(src_dir, "w.mrt.gz", gz)};
+
+  const auto raw_result = import_mrt_files(raw_paths, raw_j);
+  const auto gz_result = import_mrt_files(gz_paths, gz_j);
+  EXPECT_EQ(gz_result.files, 1u);
+  EXPECT_EQ(gz_result.records, raw_result.records);
+  EXPECT_EQ(gz_result.observations, raw_result.observations);
+  EXPECT_EQ(gz_result.mrt_bytes, raw_result.mrt_bytes);  // decompressed bytes
+  EXPECT_EQ(gz_result.journal_bytes, raw_result.journal_bytes);
+  // The journals are bit-identical: compression is pure transport.
+  EXPECT_EQ(journal_bytes(gz_j), journal_bytes(raw_j));
+}
+
+TEST(MrtImportTest, TornGzipImportsRecoveredPrefixCleanly) {
+  // A big window whose gzip stream is cut mid-file: everything
+  // decompressed before the tear imports, the file counts as truncated,
+  // and the journal is clean.
+  std::vector<std::uint8_t> window;
+  for (int rep = 0; rep < 32; ++rep) append(window, fixture_window());
+  std::uint64_t full_obs = 0;
+  {
+    ObservationConverter counter;
+    full_obs = convert_to_vector(counter, window).size();
+  }
+  auto gz = gzip_bytes(window);
+  gz.resize(gz.size() / 2);
+
+  const std::string src_dir = fresh_dir("torn_gz_src");
+  const std::string journal_dir = fresh_dir("torn_gz_j");
+  const std::string paths[] = {write_file(src_dir, "w.mrt.gz", gz)};
+  const auto result = import_mrt_files(paths, journal_dir);
+  EXPECT_EQ(result.files, 0u);
+  EXPECT_EQ(result.truncated_files, 1u);
+  EXPECT_GT(result.observations, 0u);
+  EXPECT_LT(result.observations, full_obs);
+  ASSERT_EQ(result.file_errors.size(), 1u);
+  EXPECT_NE(result.file_errors[0].find("gzip"), std::string::npos);
+
+  journal::JournalReader reader(journal_dir);
+  pipeline::ObservationBatch batch;
+  std::uint64_t read = 0;
+  while (const auto n = reader.read_batch(batch, 1024)) read += n;
+  EXPECT_EQ(read, result.observations);
+  EXPECT_FALSE(reader.truncated_tail());
+}
+
+TEST(MrtImportTest, ReadFileBytesThrowsOnTornCompressedStream) {
+  // The whole-file convenience path cannot recover a prefix, so it must
+  // FAIL LOUDLY on a torn stream: a tear landing on a record boundary
+  // would otherwise be indistinguishable from a complete file.
+  auto gz = gzip_bytes(fixture_window());
+  gz.resize(gz.size() / 2);
+  const std::string src_dir = fresh_dir("torn_rfb_src");
+  const auto path = write_file(src_dir, "w.mrt.gz", gz);
+  EXPECT_THROW(read_file_bytes(path), std::runtime_error);
+  EXPECT_THROW(read_elems_from_file(path), std::runtime_error);
+}
+
+TEST(MrtImportTest, ConcatenatedGzipMembersImportAsOneStream) {
+  // pigz / split-and-cat mirrors produce multi-member files; both members
+  // must decompress as one MRT stream.
+  const auto records = fixture_records();
+  std::vector<std::uint8_t> file1;
+  for (std::size_t i = 0; i < 4; ++i) append(file1, records[i]);
+  std::vector<std::uint8_t> file2;
+  for (std::size_t i = 4; i < records.size(); ++i) append(file2, records[i]);
+  auto gz = gzip_bytes(file1);
+  const auto gz2 = gzip_bytes(file2);
+  gz.insert(gz.end(), gz2.begin(), gz2.end());
+
+  const std::string src_dir = fresh_dir("concat_gz_src");
+  const std::string journal_dir = fresh_dir("concat_gz_j");
+  const std::string paths[] = {write_file(src_dir, "w.mrt.gz", gz)};
+  const auto result = import_mrt_files(paths, journal_dir);
+  EXPECT_EQ(result.files, 1u);
+  EXPECT_EQ(result.records, 14u);
+}
+
+TEST(MrtImportTest, CompressedDualStackReplayBitIdentical) {
+  // The tentpole headline: a gzip'd dual-stack window imports, journals
+  // and replays bit-identically (shards 1 and 4) vs direct ingestion.
+  const auto window = fixture_window();
+  const auto gz = gzip_bytes(window);
+  const std::string src_dir = fresh_dir("gzrt_src");
+  const std::string journal_dir = fresh_dir("gzrt_j");
+  const std::string paths[] = {write_file(src_dir, "w.mrt.gz", gz)};
+  const auto result = import_mrt_files(paths, journal_dir);
+  ASSERT_EQ(result.files, 1u);
+
+  const core::Config config_a = make_config();
+  pipeline::ShardedDetector direct(config_a);
+  feeds::MonitorHub direct_hub;
+  direct.attach(direct_hub);
+  {
+    ObservationConverter converter;
+    const auto stats = converter.convert_file(window, direct_hub.batch_inlet());
+    ASSERT_TRUE(stats.clean());
+  }
+  const auto direct_alerts = direct.merged_alerts();
+  ASSERT_FALSE(direct_alerts.empty());
+  // The window must exercise v6 detection, not just carry v6 bytes.
+  bool saw_v6_alert = false;
+  for (const auto& alert : direct_alerts) {
+    if (!alert.observed_prefix.is_v4()) saw_v6_alert = true;
+  }
+  EXPECT_TRUE(saw_v6_alert);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const core::Config config = make_config();
+    pipeline::ShardedDetectorOptions options;
+    options.shards = shards;
+    pipeline::ShardedDetector replayed(config, options);
+    feeds::MonitorHub hub;
+    replayed.attach(hub);
+    journal::JournalReader reader(journal_dir);
+    journal::ReplayFeed feed(reader);
+    const auto replayed_count = feed.replay_all(hub);
+    EXPECT_EQ(replayed_count, result.observations);
+    expect_same_alerts(replayed.merged_alerts(), direct_alerts);
+  }
+}
+#endif  // ARTEMIS_HAVE_ZLIB
+
+#ifdef ARTEMIS_HAVE_BZIP2
+TEST(MrtImportTest, Bzip2ImportMatchesRaw) {
+  const auto window = fixture_window();
+  std::vector<std::uint8_t> bz(window.size() + window.size() / 100 + 600);
+  unsigned bz_len = static_cast<unsigned>(bz.size());
+  ASSERT_EQ(BZ2_bzBuffToBuffCompress(
+                reinterpret_cast<char*>(bz.data()), &bz_len,
+                reinterpret_cast<char*>(const_cast<std::uint8_t*>(window.data())),
+                static_cast<unsigned>(window.size()), 9, 0, 0),
+            BZ_OK);
+  bz.resize(bz_len);
+
+  const std::string src_dir = fresh_dir("bz_src");
+  const std::string journal_dir = fresh_dir("bz_j");
+  const std::string paths[] = {write_file(src_dir, "w.mrt.bz2", bz)};
+  const auto result = import_mrt_files(paths, journal_dir);
+  EXPECT_EQ(result.files, 1u);
+  EXPECT_EQ(result.records, 14u);
+
+  ObservationConverter counter;
+  EXPECT_EQ(result.observations, convert_to_vector(counter, window).size());
+}
+#endif  // ARTEMIS_HAVE_BZIP2
 
 TEST(MrtImportTest, ResumedImportAppendsContiguously) {
   // Importing a second window into an existing journal must resume the

@@ -476,6 +476,204 @@ TEST(ElemReaderTest, Ipv6RibEntriesRoundTrip) {
   EXPECT_EQ(elems[1].origin_as(), 300u);
 }
 
+// ------------------------------------------------- MP_REACH / MP_UNREACH
+
+bgp::UpdateMessage dual_stack_update() {
+  bgp::UpdateMessage u;
+  u.sender = 65010;
+  u.attrs.as_path = bgp::AsPath({65010, 3356, 65001});
+  u.announced = {net::Prefix::must_parse("10.0.0.0/23"),
+                 net::Prefix::must_parse("2001:db8::/32"),
+                 net::Prefix::must_parse("2001:db8:ffff::/48")};
+  u.withdrawn = {net::Prefix::must_parse("192.0.2.0/24"),
+                 net::Prefix::must_parse("2001:db8:dead::/48")};
+  return u;
+}
+
+TEST(MpNlriCodecTest, DualStackRoundTripV4First) {
+  const auto original = dual_stack_update();
+  const auto bytes = encode_bgp_update(original);
+  ByteReader r(bytes);
+  const auto decoded = decode_bgp_update(r, original.sender);
+  EXPECT_TRUE(r.done());
+  // Decode order: classic v4 fields first, MP NLRI appended after. The
+  // fixture already lists v4 first, so the round trip is exact.
+  EXPECT_EQ(decoded.announced, original.announced);
+  EXPECT_EQ(decoded.withdrawn, original.withdrawn);
+  EXPECT_EQ(decoded.attrs.as_path, original.attrs.as_path);
+}
+
+TEST(MpNlriCodecTest, NextHop32RoundTrips) {
+  // 32-byte next hop: global + link-local, the shape most RIS peers emit.
+  UpdateEncodeOptions options;
+  options.mp_next_hop_len = 32;
+  const auto original = dual_stack_update();
+  const auto bytes16 = encode_bgp_update(original);
+  const auto bytes32 = encode_bgp_update(original, options);
+  EXPECT_EQ(bytes32.size(), bytes16.size() + 16);  // exactly the extra next hop
+  ByteReader r(bytes32);
+  const auto decoded = decode_bgp_update(r, original.sender);
+  EXPECT_EQ(decoded.announced, original.announced);
+  EXPECT_EQ(decoded.withdrawn, original.withdrawn);
+}
+
+TEST(MpNlriCodecTest, V6WithdrawOnlyUpdateCarriesLoneMpUnreach) {
+  bgp::UpdateMessage u;
+  u.sender = 1;
+  u.withdrawn = {net::Prefix::must_parse("2001:db8::/32"),
+                 net::Prefix::must_parse("2001:db8:1::/48")};
+  const auto bytes = encode_bgp_update(u);
+  ByteReader r(bytes);
+  const auto decoded = decode_bgp_update(r, 1);
+  EXPECT_TRUE(decoded.announced.empty());
+  EXPECT_EQ(decoded.withdrawn, u.withdrawn);
+  // The attribute section holds exactly one attribute: MP_UNREACH_NLRI
+  // (flags, type 15). Classic withdrawn-routes length must be zero.
+  ByteReader probe(bytes);
+  probe.bytes(16);       // marker
+  probe.u16();           // length
+  probe.u8();            // type
+  EXPECT_EQ(probe.u16(), 0u);  // no classic withdrawn routes
+  const std::uint16_t attrs_len = probe.u16();
+  ByteReader attrs = probe.sub(attrs_len);
+  attrs.u8();  // flags
+  EXPECT_EQ(attrs.u8(), 15u);  // MP_UNREACH_NLRI
+}
+
+TEST(MpNlriCodecTest, As2RecordWithV6NlriMergesAs4Path) {
+  UpdateRecord rec;
+  rec.peer_asn = 70000;  // wide: AS_TRANS on the 2-byte wire
+  rec.local_asn = 64512;
+  rec.peer_ip = net::IpAddress::v4(0x0A000001);
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update.sender = rec.peer_asn;
+  rec.update.attrs.as_path = bgp::AsPath({70000, 3356, 65001});
+  rec.update.announced = {net::Prefix::must_parse("2001:db8::/32")};
+  const auto bytes = encode_update_record_as2(rec);
+  ByteReader r(bytes);
+  const auto raw = read_raw_record(r);
+  ASSERT_TRUE(raw.has_value());
+  const auto decoded = decode_update_record(*raw);
+  EXPECT_EQ(decoded.peer_asn, kAsTrans);  // header ASN is 2-byte on the wire
+  ASSERT_EQ(decoded.update.announced.size(), 1u);
+  EXPECT_EQ(decoded.update.announced[0], net::Prefix::must_parse("2001:db8::/32"));
+  EXPECT_EQ(decoded.update.attrs.as_path, rec.update.attrs.as_path);  // AS4 merge
+}
+
+TEST(MpNlriCodecTest, V6PeerAddressRoundTrips) {
+  UpdateRecord rec;
+  rec.peer_asn = 9;
+  rec.local_asn = 64512;
+  rec.peer_ip = *net::IpAddress::parse("2001:db8::9");
+  rec.timestamp = SimTime::at_seconds(100);
+  rec.update.sender = 9;
+  rec.update.attrs.as_path = bgp::AsPath({9, 65001});
+  rec.update.announced = {net::Prefix::must_parse("2001:db8:aaaa::/48")};
+  const auto bytes = encode_update_record(rec);
+  ByteReader r(bytes);
+  const auto raw = read_raw_record(r);
+  ASSERT_TRUE(raw.has_value());
+  const auto decoded = decode_update_record(*raw);
+  EXPECT_EQ(decoded.peer_ip, rec.peer_ip);
+  ASSERT_EQ(decoded.update.announced.size(), 1u);
+  EXPECT_EQ(decoded.update.announced[0], rec.update.announced[0]);
+}
+
+TEST(MpNlriCodecTest, V4NlriOverV6NextHopDecodes) {
+  // RFC 8950: IPv4 unicast NLRI carried in MP_REACH with a 16-byte IPv6
+  // next hop (v6-transport sessions). The next hop is unmodeled; the
+  // NLRI must decode as ordinary v4 — not kill the record.
+  ByteWriter w;
+  w.u8(0x80);  // optional
+  w.u8(14);    // MP_REACH_NLRI
+  w.u8(4 + 16 + 1 + 4);  // afi+safi+nhlen byte, 16B next hop, reserved, /24 NLRI
+  w.u16(1);    // AFI: IPv4
+  w.u8(1);     // SAFI: unicast
+  w.u8(16);    // next-hop length: IPv6
+  for (int i = 0; i < 16; ++i) w.u8(0x20);
+  w.u8(0);     // reserved
+  w.u8(24);    // NLRI: 198.51.100.0/24
+  w.u8(198);
+  w.u8(51);
+  w.u8(100);
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops, as4;
+  MpNlriScratch mp;
+  decode_path_attributes_into(r, attrs, false, hops, as4, &mp);
+  ASSERT_EQ(mp.announced.size(), 1u);
+  EXPECT_EQ(mp.announced[0], net::Prefix::must_parse("198.51.100.0/24"));
+}
+
+TEST(MpNlriCodecTest, UnknownMpAfiThrowsUnsupportedRecord) {
+  // Hand-built attribute section: a lone MP_REACH_NLRI with AFI 25
+  // (L2VPN) — recognized shape, unmodeled family.
+  ByteWriter w;
+  w.u8(0x80);  // optional
+  w.u8(14);    // MP_REACH_NLRI
+  w.u8(5);     // length
+  w.u16(25);   // AFI: L2VPN
+  w.u8(1);     // SAFI
+  w.u8(0);     // next-hop length
+  w.u8(0);     // reserved
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops, as4;
+  MpNlriScratch mp;
+  EXPECT_THROW(
+      decode_path_attributes_into(r, attrs, false, hops, as4, &mp),
+      UnsupportedRecord);
+}
+
+TEST(MpNlriCodecTest, MpAttributesSkippedWithoutScratch) {
+  // RIB-entry context (mp == nullptr): MP attributes are skipped whole —
+  // including the abbreviated RFC 6396 form that has no AFI/SAFI at all.
+  ByteWriter w;
+  w.u8(0x80);
+  w.u8(14);
+  w.u8(17);  // length: 1 next-hop-len byte + 16 next-hop bytes
+  w.u8(16);
+  for (int i = 0; i < 16; ++i) w.u8(0xAB);
+  ByteReader r(w.data());
+  const auto attrs = decode_path_attributes(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_TRUE(attrs.as_path.empty());
+}
+
+TEST(MpNlriCodecTest, AsSetSegmentThrowsUnsupportedRecord) {
+  ByteWriter w;
+  w.u8(0x40);  // transitive
+  w.u8(2);     // AS_PATH
+  w.u8(6);     // length
+  w.u8(1);     // AS_SET
+  w.u8(1);     // one hop
+  w.u32(65001);
+  ByteReader r(w.data());
+  EXPECT_THROW(decode_path_attributes(r), UnsupportedRecord);
+}
+
+TEST(ElemReaderTest, DualStackUpdateFansOutMpElems) {
+  UpdateRecord rec;
+  rec.peer_asn = 9;
+  rec.local_asn = 64512;
+  rec.peer_ip = net::IpAddress::v4(0x0A000009);
+  rec.timestamp = SimTime::at_seconds(50);
+  rec.update.sender = 9;
+  rec.update.attrs.as_path = bgp::AsPath({9, 65001});
+  rec.update.announced = {net::Prefix::must_parse("10.0.0.0/24"),
+                          net::Prefix::must_parse("2001:db8::/32")};
+  rec.update.withdrawn = {net::Prefix::must_parse("2001:db8:dead::/48")};
+  const auto bytes = encode_update_record(rec);
+  const auto elems = read_elems(bytes);
+  ASSERT_EQ(elems.size(), 3u);
+  EXPECT_EQ(elems[0].type, ElemType::kAnnounce);
+  EXPECT_EQ(elems[0].prefix, net::Prefix::must_parse("10.0.0.0/24"));
+  EXPECT_EQ(elems[1].type, ElemType::kAnnounce);
+  EXPECT_EQ(elems[1].prefix, net::Prefix::must_parse("2001:db8::/32"));
+  EXPECT_EQ(elems[2].type, ElemType::kWithdraw);
+  EXPECT_EQ(elems[2].prefix, net::Prefix::must_parse("2001:db8:dead::/48"));
+}
+
 TEST(ElemTest, ToStringFormats) {
   BgpElem e;
   e.type = ElemType::kAnnounce;

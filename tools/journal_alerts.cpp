@@ -1,0 +1,141 @@
+// journal_alerts: replay an observation journal through detection and
+// print the canonical merged alert list.
+//
+// The CI replay-determinism gate is built on this tool: replay the same
+// journal at --shards 1 and --shards 4 on every compiler in the matrix
+// and diff the output against a checked-in golden file — bit-identity of
+// the whole import -> journal -> replay -> detection path, enforced per
+// commit. It is also a handy archive forensics tool: import a RouteViews
+// window with mrt2journal, then ask "which of MY prefixes were hijacked
+// in this window?" without writing a scenario file.
+//
+// Usage: journal_alerts --journal DIR --owned PREFIX=ASN[,ASN...]
+//                       [--owned ...] [--shards N]
+//   --journal DIR   journal directory (mrt2journal / scenario_runner)
+//   --owned SPEC    an owned prefix and its legitimate origin ASNs,
+//                   e.g. 10.0.0.0/23=65001 or 2001:db8::/32=65003,65004
+//                   (repeatable; at least one required)
+//   --shards N      detection shard count (default 1). Output is
+//                   bit-identical for every N — that is the point.
+//
+// Output: one canonical HijackAlert::to_string() line per merged alert
+// (sorted by detected_at, type, prefix, offender), then nothing else on
+// stdout. Progress and statistics go to stderr. Exit 0 on success (alerts
+// or not), 1 on hard errors, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "artemis/config.hpp"
+#include "feeds/monitor_hub.hpp"
+#include "journal/reader.hpp"
+#include "journal/replay.hpp"
+#include "pipeline/sharded_detector.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "error: %s\n", what);
+  std::fprintf(stderr,
+               "usage: journal_alerts --journal DIR --owned PREFIX=ASN[,ASN...] "
+               "[--owned ...] [--shards N]\n");
+  std::exit(2);
+}
+
+/// Parses "10.0.0.0/23=65001,65002" into an OwnedPrefix.
+artemis::core::OwnedPrefix parse_owned(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) usage_error("--owned needs PREFIX=ASN[,ASN...]");
+  const auto prefix = artemis::net::Prefix::parse(spec.substr(0, eq));
+  if (!prefix) usage_error(("bad prefix in --owned " + spec).c_str());
+  artemis::core::OwnedPrefix owned;
+  owned.prefix = *prefix;
+  std::size_t pos = eq + 1;
+  while (pos < spec.size()) {
+    // strtoul silently wraps negatives; require a leading digit, and
+    // reject AS0 (reserved, RFC 7607 — Config::from_json does the same).
+    if (spec[pos] < '0' || spec[pos] > '9') {
+      usage_error(("bad ASN in --owned " + spec).c_str());
+    }
+    char* rest = nullptr;
+    const unsigned long asn = std::strtoul(spec.c_str() + pos, &rest, 10);
+    if (rest == spec.c_str() + pos || asn == 0 || asn > 0xFFFFFFFFul) {
+      usage_error(("bad ASN in --owned " + spec).c_str());
+    }
+    owned.legitimate_origins.insert(static_cast<artemis::bgp::Asn>(asn));
+    pos = static_cast<std::size_t>(rest - spec.c_str());
+    if (pos < spec.size()) {
+      if (spec[pos] != ',') usage_error(("bad ASN list in --owned " + spec).c_str());
+      ++pos;
+    }
+  }
+  if (owned.legitimate_origins.empty()) {
+    usage_error(("--owned " + spec + " lists no origins").c_str());
+  }
+  return owned;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace artemis;
+
+  std::string journal_dir;
+  core::Config config;
+  std::size_t shards = 1;
+  bool any_owned = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      journal_dir = flag_value("--journal");
+    } else if (arg == "--owned") {
+      config.add_owned(parse_owned(flag_value("--owned")));
+      any_owned = true;
+    } else if (arg == "--shards") {
+      const char* text = flag_value("--shards");
+      char* rest = nullptr;
+      const long n = std::strtol(text, &rest, 10);
+      if (rest == text || *rest != '\0' || n < 1 || n > 1024) {
+        usage_error("--shards must be an integer in [1, 1024]");
+      }
+      shards = static_cast<std::size_t>(n);
+    } else {
+      usage_error(("unknown argument " + std::string(arg)).c_str());
+    }
+  }
+  if (journal_dir.empty()) usage_error("--journal DIR is required");
+  if (!any_owned) usage_error("at least one --owned PREFIX=ASN is required");
+
+  try {
+    pipeline::ShardedDetectorOptions options;
+    options.shards = shards;
+    pipeline::ShardedDetector detector(config, options);
+    feeds::MonitorHub hub;
+    detector.attach(hub);
+
+    journal::JournalReader reader(journal_dir);
+    journal::ReplayFeed feed(reader);
+    const std::uint64_t replayed = feed.replay_all(hub);
+    if (reader.truncated_tail()) {
+      std::fprintf(stderr, "warning: journal has a truncated tail record\n");
+    }
+
+    const auto alerts = detector.merged_alerts();
+    for (const auto& alert : alerts) {
+      std::printf("%s\n", alert.to_string().c_str());
+    }
+    std::fprintf(stderr, "replayed %llu observations, %zu merged alerts (%zu shards)\n",
+                 static_cast<unsigned long long>(replayed), alerts.size(), shards);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

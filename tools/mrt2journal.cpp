@@ -1,10 +1,15 @@
 // mrt2journal: import archived MRT files into an observation journal.
 //
 // Converts RouteViews / RIPE RIS style MRT archives (BGP4MP update files
-// and TABLE_DUMP_V2 RIB snapshots, IPv4 + IPv6, 2- and 4-byte AS
-// flavors) into the journal format under src/journal/, so archived
-// control-plane windows replay through the detection pipeline at line
-// rate (`scenario_runner --replay DIR`, bench_journal, bench_mrt_import).
+// and TABLE_DUMP_V2 RIB snapshots, IPv4 + IPv6 — including v6 NLRI in
+// MP_REACH/MP_UNREACH attributes — 2- and 4-byte AS flavors) into the
+// journal format under src/journal/, so archived control-plane windows
+// replay through the detection pipeline at line rate
+// (`scenario_runner --replay DIR`, journal_alerts, bench_mrt_import).
+// gzip'd and bzip2'd archives import directly: compression is sniffed
+// from magic bytes and streamed — no temp files. Records with shapes we
+// recognize but do not model (AS_SET path segments) are skipped whole
+// and counted (`skipped_records`); the file keeps importing.
 //
 // Usage: mrt2journal --journal DIR [options] <file.mrt...>
 //   --journal DIR     target journal directory (created, or resumed if it

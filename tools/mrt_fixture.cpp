@@ -1,0 +1,156 @@
+// mrt_fixture: emit the canonical dual-stack MRT test window.
+//
+// Writes a small, fully deterministic MRT byte stream covering every
+// record flavor the importer models — v4 updates (AS4 and pre-AS4 with
+// the AS4_PATH merge), MP_REACH/MP_UNREACH v6 updates with both next-hop
+// lengths, a v6-withdraw-only update, an AS_SET record (exercising
+// record-skip recovery), and v4 + v6 TABLE_DUMP_V2 snapshots — against
+// the owned config
+//     10.0.0.0/23=65001  192.0.2.0/24=65002  2001:db8::/32=65003
+// so it raises a known alert set. tests/golden/make_golden.sh uses it to
+// regenerate the committed golden journal + alert fixtures behind the CI
+// replay-determinism gate.
+//
+// Usage: mrt_fixture --out FILE [--gzip]
+//   --gzip   wrap the window in a single gzip member (zlib, mtime 0, so
+//            the compressed bytes are deterministic too)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mrt/mrt.hpp"
+#include "mrt/stream_reader.hpp"
+
+using namespace artemis;
+
+namespace {
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "error: %s\n", what);
+  std::fprintf(stderr, "usage: mrt_fixture --out FILE [--gzip]\n");
+  std::exit(2);
+}
+
+mrt::UpdateRecord update(bgp::Asn peer, double at_seconds,
+                         const std::vector<std::string>& announced,
+                         std::vector<bgp::Asn> path,
+                         const std::vector<std::string>& withdrawn = {}) {
+  mrt::UpdateRecord rec;
+  rec.peer_asn = peer;
+  rec.local_asn = 64512;
+  rec.peer_ip = net::IpAddress::v4(0x0A000000 | peer);
+  rec.timestamp = SimTime::at_seconds(at_seconds);
+  rec.update.sender = peer;
+  for (const auto& p : announced) {
+    rec.update.announced.push_back(net::Prefix::must_parse(p));
+  }
+  for (const auto& p : withdrawn) {
+    rec.update.withdrawn.push_back(net::Prefix::must_parse(p));
+  }
+  rec.update.attrs.as_path = bgp::AsPath(std::move(path));
+  return rec;
+}
+
+mrt::RibEntryRecord rib_entry(bgp::Asn peer, double at_seconds,
+                              const std::string& prefix, std::vector<bgp::Asn> path) {
+  mrt::RibEntryRecord entry;
+  entry.peer_asn = peer;
+  entry.timestamp = SimTime::at_seconds(at_seconds);
+  entry.route.prefix = net::Prefix::must_parse(prefix);
+  entry.route.attrs.as_path = bgp::AsPath(std::move(path));
+  return entry;
+}
+
+/// A complete UPDATE record carrying an AS_SET path segment: the importer
+/// must skip exactly this record and keep going (deterministically).
+std::vector<std::uint8_t> as_set_record(bgp::Asn peer, double at_seconds) {
+  return mrt::encode_update_record_as_set(
+      update(peer, at_seconds, {"10.0.0.0/23"}, {65001, 65002}));
+}
+
+std::vector<std::uint8_t> dual_stack_window() {
+  std::vector<std::uint8_t> out;
+  const auto add = [&out](const std::vector<std::uint8_t>& bytes) {
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  };
+  // v4 exact-origin hijack of the owned /23, then the legitimate origin.
+  add(mrt::encode_update_record(update(9, 100, {"10.0.0.0/23"}, {9, 3356, 666})));
+  add(mrt::encode_update_record(update(9, 101, {"10.0.0.0/23"}, {9, 3356, 65001})));
+  // v4 sub-prefix hijack plus an unrelated withdrawal in one record.
+  add(mrt::encode_update_record(
+      update(8, 102, {"10.0.1.0/24"}, {8, 1299, 666}, {"203.0.113.0/24"})));
+  // Pre-AS4 speaker, wide ASN restored by the AS4_PATH merge.
+  add(mrt::encode_update_record_as2(
+      update(7, 103, {"192.0.2.0/24"}, {7, 70000, 666})));
+  // AS_SET record: skipped whole, import continues (and the golden
+  // output proves the skip is deterministic).
+  add(as_set_record(9, 104));
+  // MP_REACH v6 sub-prefix hijack (16-byte next hop).
+  add(mrt::encode_update_record(
+      update(9, 105, {"2001:db8:dead::/48"}, {9, 3356, 667})));
+  // Dual-stack record with 32-byte next hop: v4 sub-prefix + v6 exact
+  // hijack announced together, an MP_UNREACH withdrawal riding along.
+  {
+    mrt::UpdateEncodeOptions nh32;
+    nh32.mp_next_hop_len = 32;
+    add(mrt::encode_update_record(
+        update(8, 106, {"10.0.1.0/24", "2001:db8::/32"}, {8, 1299, 667},
+               {"2001:db8:aaaa::/48"}),
+        nh32));
+  }
+  // v6-withdraw-only update (lone MP_UNREACH attribute).
+  add(mrt::encode_update_record(update(9, 107, {}, {}, {"2001:db8:dead::/48"})));
+  // v6 NLRI from a pre-AS4 speaker.
+  add(mrt::encode_update_record_as2(
+      update(7, 108, {"2001:db8:ffff::/48"}, {7, 70000, 667})));
+  // v4 + v6 RIB snapshots close the window.
+  add(mrt::encode_table_dump({rib_entry(9, 109, "10.0.0.0/23", {9, 3356, 666}),
+                              rib_entry(8, 109, "198.51.100.0/24", {8, 1299, 65010})},
+                             SimTime::at_seconds(109)));
+  add(mrt::encode_table_dump({rib_entry(9, 110, "2001:db8::/32", {9, 3356, 667}),
+                              rib_entry(9, 110, "2001:db8:ffff::/48", {9, 3356, 667})},
+                             SimTime::at_seconds(110)));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool gzip = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) usage_error("--out needs a value");
+      out_path = argv[++i];
+    } else if (arg == "--gzip") {
+      gzip = true;
+    } else {
+      usage_error(("unknown argument " + std::string(arg)).c_str());
+    }
+  }
+  if (out_path.empty()) usage_error("--out FILE is required");
+
+  std::vector<std::uint8_t> bytes = dual_stack_window();
+  if (gzip) {
+#ifdef ARTEMIS_HAVE_ZLIB
+    bytes = mrt::gzip_compress(bytes);
+#else
+    std::fprintf(stderr, "error: built without zlib; --gzip unavailable\n");
+    return 1;
+#endif
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  std::fprintf(stderr, "wrote %zu bytes to %s (%s)\n", bytes.size(), out_path.c_str(),
+               gzip ? "gzip" : "raw");
+  return 0;
+}

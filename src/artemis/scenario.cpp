@@ -126,6 +126,13 @@ Scenario load_scenario(const json::Value& doc) {
   // Observation flight recorder: record every hub delivery to this
   // directory (replayable with scenario_runner --replay).
   params.app.journal_dir = experiment.get_string("journal_dir", "");
+  const std::string fsync = experiment.get_string("journal_fsync", "");
+  if (!fsync.empty() &&
+      !journal::parse_fsync_policy(fsync, params.app.journal)) {
+    throw std::invalid_argument(
+        "journal_fsync must be never, on_rotate, or interval:<ms>, got \"" +
+        fsync + "\"");
+  }
   return scenario;
 }
 

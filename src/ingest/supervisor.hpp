@@ -1,0 +1,134 @@
+// IngestSupervisor: the always-on archive ingest loop.
+//
+// Drives a list of archive URLs, in order, through FetchSource →
+// IngestPipeline → JournalWriter, and makes the whole run crash-proof:
+// SIGKILL the process at ANY instant, restart it with the same arguments,
+// and the journal continues byte-exact — no observation duplicated, none
+// lost beyond the writer's documented in-memory window (and none at all
+// once the lag bound has flushed them).
+//
+// The resume protocol needs only two durable artifacts:
+//
+//  1. The journal itself. JournalWriter::resume_existing() already
+//     recovers the durable record count (truncating a torn tail), so the
+//     journal tail IS the progress marker — there is no separate "records
+//     done" counter to keep consistent with it.
+//
+//  2. A tiny per-URL cursor (`ingest-cursor.json` in the journal dir,
+//     written atomically via tmp+rename) recording which URL is in
+//     flight, the journal sequence at which its observations START, and
+//     the converter clock at that point. The cursor is written BEFORE a
+//     URL's first byte is converted, after a writer flush — so on disk,
+//     journal next_seq >= cursor.start_seq always holds.
+//
+// Restart then computes skip = durable_next_seq − cursor.start_seq,
+// re-fetches the in-flight URL from byte 0, re-converts it (conversion is
+// deterministic), drops the first `skip` observations at the append shim,
+// restores the converter clock, and continues as if the kill never
+// happened. Compressed archives make byte-offset resume across process
+// death impossible (the decompressor's state died), which is why restart
+// re-fetches and re-skips; *within* a process, transient retries do
+// resume at the byte offset with the live decompressor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ingest/fetch_source.hpp"
+#include "ingest/pipeline.hpp"
+#include "json/json.hpp"
+
+namespace artemis::ingest {
+
+/// The durable resume cursor. `start_seq` / `start_clock_us` snapshot the
+/// journal sequence and import clock immediately before `url`'s first
+/// converted observation.
+struct IngestCursor {
+  std::uint64_t url_index = 0;
+  std::string url;
+  std::uint64_t start_seq = 0;
+  std::int64_t start_clock_us = 0;
+};
+
+/// Reads `<journal_dir>/ingest-cursor.json`. nullopt when absent;
+/// throws json::JsonError on a malformed file (a half-written cursor is
+/// impossible by construction — rename is atomic — so malformed means
+/// operator error, not crash debris).
+std::optional<IngestCursor> load_ingest_cursor(const std::string& journal_dir);
+
+/// Atomically replaces the cursor file (write tmp + rename).
+void store_ingest_cursor(const std::string& journal_dir,
+                         const IngestCursor& cursor);
+
+struct SupervisorOptions {
+  std::string journal_dir;
+  journal::JournalWriterOptions journal;
+  PipelineOptions pipeline;
+  FetchPolicy fetch;
+  /// Seeds backoff jitter (forked per URL, so schedules are independent
+  /// across sources but reproducible per seed).
+  std::uint64_t seed = 1;
+  /// Test hook: replaces real backoff sleeps. Defaults to nanosleep.
+  FetchSource::SleepFn sleep;
+};
+
+/// Everything the run learned about one URL, for the stats surface.
+struct SourceReport {
+  std::string url;
+  SourceState state = SourceState::kPending;
+  FetchOutcome outcome = FetchOutcome::kTransient;
+  SourceStats fetch;
+  SourceFeedStats feed;
+  /// Crash-resume bookkeeping: observations this restart dropped at the
+  /// append shim because the pre-crash run already journaled them.
+  std::uint64_t resume_skipped = 0;
+  bool resumed = false;
+};
+
+struct IngestReport {
+  std::vector<SourceReport> sources;
+  std::uint64_t sources_done = 0;
+  std::uint64_t sources_truncated = 0;  ///< done-with-tear (partial archive)
+  std::uint64_t sources_failed = 0;
+  std::uint64_t records_journaled = 0;  ///< this run's appended records
+  std::uint64_t journal_next_seq = 0;   ///< sequence after the run
+  std::uint64_t journal_segments = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t fsyncs = 0;
+
+  bool all_ok() const { return sources_failed == 0; }
+};
+
+/// Renders the report (plus the options that shaped it) as the stats
+/// JSON `artemis_ingest --stats-json` emits. The per-source objects
+/// carry the full no-silent-loss ledger:
+///   converted == journaled + skipped + dropped
+json::Value ingest_report_to_json(const SupervisorOptions& options,
+                                  const IngestReport& report);
+
+class IngestSupervisor {
+ public:
+  /// Opens (or RESUMES) the journal in options.journal_dir. Throws
+  /// journal::JournalError like JournalWriter does.
+  IngestSupervisor(SupervisorOptions options, std::vector<std::string> urls);
+
+  IngestSupervisor(const IngestSupervisor&) = delete;
+  IngestSupervisor& operator=(const IngestSupervisor&) = delete;
+
+  /// Fetches every URL in order (blocking). Idempotent across crashes:
+  /// killed runs continue where the durable journal ends. Closes the
+  /// journal on completion.
+  IngestReport run();
+
+ private:
+  SupervisorOptions options_;
+  std::vector<std::string> urls_;
+  journal::JournalWriter writer_;
+  IngestPipeline pipeline_;
+};
+
+}  // namespace artemis::ingest

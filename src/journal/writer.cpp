@@ -4,12 +4,20 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
 namespace artemis::journal {
 namespace {
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string segment_path(const std::string& dir, std::uint64_t first_seq) {
   char name[32];  // kSegmentPrefix + 16 hex digits + kSegmentSuffix
@@ -24,6 +32,41 @@ std::string segment_path(const std::string& dir, std::uint64_t first_seq) {
 
 }  // namespace
 
+bool parse_fsync_policy(std::string_view text, JournalWriterOptions& options) {
+  if (text == "never") {
+    options.fsync_policy = FsyncPolicy::kNever;
+    return true;
+  }
+  if (text == "on_rotate") {
+    options.fsync_policy = FsyncPolicy::kOnRotate;
+    return true;
+  }
+  constexpr std::string_view kIntervalPrefix = "interval:";
+  if (text.starts_with(kIntervalPrefix)) {
+    const std::string_view ms_text = text.substr(kIntervalPrefix.size());
+    std::int64_t ms = 0;
+    const auto [p, ec] =
+        std::from_chars(ms_text.data(), ms_text.data() + ms_text.size(), ms);
+    if (ec != std::errc{} || p != ms_text.data() + ms_text.size() || ms < 0) {
+      return false;
+    }
+    options.fsync_policy = FsyncPolicy::kInterval;
+    options.fsync_interval_ms = ms;
+    return true;
+  }
+  return false;
+}
+
+std::string fsync_policy_to_string(const JournalWriterOptions& options) {
+  switch (options.fsync_policy) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kOnRotate: return "on_rotate";
+    case FsyncPolicy::kInterval:
+      return "interval:" + std::to_string(options.fsync_interval_ms);
+  }
+  return "never";
+}
+
 JournalWriter::JournalWriter(std::string dir, JournalWriterOptions options)
     : dir_(std::move(dir)), options_(options) {
   std::error_code ec;
@@ -33,6 +76,7 @@ JournalWriter::JournalWriter(std::string dir, JournalWriterOptions options)
                        ec.message());
   }
   buffer_.reserve(options_.buffer_bytes + (64u << 10));
+  last_fsync_ms_ = steady_ms();
   resume_existing();
   open_segment();
 }
@@ -124,6 +168,7 @@ void JournalWriter::open_segment() {
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd_ < 0) throw_errno("cannot create journal segment " + path);
   ++segments_;
+  segment_first_seq_ = next_seq_;
   segment_written_ = 0;
 
   SegmentHeader header;
@@ -154,6 +199,17 @@ void JournalWriter::write_buffer() {
   }
   buffer_.clear();
   buffer_consumed_ = 0;
+  records_flushed_ = records_;
+  if (options_.fsync_policy == FsyncPolicy::kInterval && fd_ >= 0 &&
+      steady_ms() - last_fsync_ms_ >= options_.fsync_interval_ms) {
+    do_fsync();
+  }
+}
+
+void JournalWriter::do_fsync() {
+  if (::fsync(fd_) != 0) throw_errno("journal fsync failed in " + dir_);
+  ++fsyncs_;
+  last_fsync_ms_ = steady_ms();
 }
 
 void JournalWriter::append_batch(std::span<const feeds::Observation> batch) {
@@ -170,6 +226,7 @@ void JournalWriter::append_batch(std::span<const feeds::Observation> batch) {
   // segment stays allocation-free.
   if (segment_written_ + buffer_.size() >= options_.segment_bytes) {
     write_buffer();
+    if (options_.fsync_policy == FsyncPolicy::kOnRotate) do_fsync();
     // close(2) releases the descriptor even on failure: drop fd_ first
     // so a throw cannot leave a dangling descriptor to double-close or
     // write through later.
@@ -185,15 +242,37 @@ void JournalWriter::flush() {
   write_buffer();
 }
 
+void JournalWriter::sync() {
+  if (closed_) return;
+  write_buffer();
+  if (fd_ >= 0) do_fsync();
+}
+
 void JournalWriter::close() {
   if (closed_) return;
   write_buffer();
+  // A continuation segment that never received a record is pure noise: a
+  // no-op restart (everything resume-skipped) would otherwise grow the
+  // journal by one header-only file per run. Reclaim it here — the same
+  // cleanup the next resume_existing() would do, just earlier. A fresh
+  // journal's very first segment is kept even when empty, so "created an
+  // empty journal" remains observable.
+  const bool empty_continuation =
+      next_seq_ == segment_first_seq_ && segment_first_seq_ > 0;
+  if (!empty_continuation && options_.fsync_policy != FsyncPolicy::kNever &&
+      fd_ >= 0) {
+    do_fsync();
+  }
   closed_ = true;
   if (fd_ >= 0 && ::close(fd_) != 0) {
     fd_ = -1;
     throw_errno("journal segment close failed in " + dir_);
   }
   fd_ = -1;
+  if (empty_continuation) {
+    std::error_code ec;
+    std::filesystem::remove(segment_path(dir_, segment_first_seq_), ec);
+  }
 }
 
 }  // namespace artemis::journal

@@ -26,6 +26,15 @@
 
 namespace artemis::journal {
 
+/// When the writer calls fsync(2). flush() alone makes records survive a
+/// process kill (the bytes are the kernel's); fsync additionally makes
+/// them survive a host power loss. kNever is the replay-tool default —
+/// machine crashes lose the tail, which the resume contract already
+/// drops cleanly. kOnRotate bounds power-loss exposure to one segment;
+/// kInterval bounds it to a wall-clock window at a per-interval fsync
+/// cost (the always-on ingest service's setting).
+enum class FsyncPolicy : std::uint8_t { kNever, kOnRotate, kInterval };
+
 struct JournalWriterOptions {
   /// Rotate to a new segment once the current one reaches this many
   /// bytes (checked at batch boundaries; segments overshoot by at most
@@ -34,7 +43,19 @@ struct JournalWriterOptions {
   /// Buffered encode bytes before a write(2). Batches stage in memory up
   /// to this amount; flush() forces the write.
   std::size_t buffer_bytes = 256u << 10;
+  FsyncPolicy fsync_policy = FsyncPolicy::kNever;
+  /// kInterval only: wall-clock milliseconds between fsyncs, checked
+  /// whenever buffered bytes reach the file (so an idle writer does not
+  /// wake; the bound is "interval after the next write").
+  std::int64_t fsync_interval_ms = 1000;
 };
+
+/// Parses the CLI/scenario spelling of the knob — "never", "on_rotate",
+/// or "interval:<ms>" — into `options`. Returns false on any other text.
+bool parse_fsync_policy(std::string_view text, JournalWriterOptions& options);
+
+/// The inverse spelling, for stats output ("interval:250").
+std::string fsync_policy_to_string(const JournalWriterOptions& options);
 
 class JournalWriter {
  public:
@@ -71,6 +92,11 @@ class JournalWriter {
   /// Writes all buffered records to the current segment file.
   void flush();
 
+  /// flush() + fsync(2), regardless of the configured policy. The
+  /// ingest supervisor calls this before persisting a fetch cursor, so
+  /// the cursor can never claim more than the journal holds.
+  void sync();
+
   /// flush() + close the segment. Idempotent; further appends throw.
   void close();
 
@@ -82,12 +108,23 @@ class JournalWriter {
   /// Sequence number the next record will get.
   std::uint64_t next_sequence() const { return next_seq_; }
 
+  // Lag accounting: how far the durable journal trails the append
+  // stream. The ingest supervisor's backpressure policy bounds
+  // records_buffered(); the stats surface exposes it as "journal lag".
+  /// Records appended but not yet handed to write(2) (lost by a kill).
+  std::uint64_t records_buffered() const { return records_ - records_flushed_; }
+  /// Encoded bytes staged in memory, not yet handed to write(2).
+  std::size_t bytes_buffered() const { return buffer_.size() - buffer_consumed_; }
+  /// fsync(2) calls issued so far (policy-driven plus explicit sync()).
+  std::uint64_t fsyncs() const { return fsyncs_; }
+
  private:
   /// Continues an existing journal in `dir_`: computes the resume
   /// sequence from the last segment and truncates its torn tail, if any.
   void resume_existing();
   void open_segment();
   void write_buffer();
+  void do_fsync();
 
   std::string dir_;
   JournalWriterOptions options_;
@@ -96,11 +133,15 @@ class JournalWriter {
   std::size_t buffer_consumed_ = 0;  ///< buffer_ prefix already written out
   int fd_ = -1;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t segment_first_seq_ = 0;  ///< first_seq of the open segment
   std::uint64_t segment_written_ = 0;  ///< bytes written to current segment
   std::int64_t last_delivered_us_ = 0;
   std::uint64_t records_ = 0;
+  std::uint64_t records_flushed_ = 0;
   std::uint64_t segments_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::int64_t last_fsync_ms_ = 0;  ///< steady-clock ms of the last fsync
   bool closed_ = false;
 };
 

@@ -110,6 +110,12 @@ class ObservationConverter {
   std::size_t source_table_size() const { return sources_.size(); }
   /// Current value of the monotone import clock (microseconds).
   std::int64_t clock_us() const { return clock_us_; }
+  /// Restores the import clock from a persisted ingest cursor, so a
+  /// supervisor restarted mid-window clamps timestamps exactly as the
+  /// uninterrupted run would have. Ratchets: the clock never goes back.
+  void restore_clock(std::int64_t clock_us) {
+    if (clock_us > clock_us_) clock_us_ = clock_us;
+  }
 
  private:
   struct PeerSource {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -62,6 +63,47 @@ std::unique_ptr<InputStream> open_input(const std::string& path);
 /// leading bytes itself skips the extra open+read here).
 std::unique_ptr<InputStream> open_input(const std::string& path,
                                         Compression compression);
+
+/// Push-mode peer of InputStream, for transports that deliver bytes to
+/// us instead of being pulled from a file — the ingest supervisor's HTTP
+/// body arrives one socket read at a time. Same tear contract as the
+/// whole-file path: a torn or corrupt stream is NOT an exception. The
+/// already-recovered prefix has been delivered to `out`, truncated() is
+/// set, and further input is ignored — so a chunk-fed import recovers
+/// exactly what the pull-based import of the same bytes would
+/// (tests/mrt_import_test.cpp pins the equivalence).
+class ChunkDecompressor {
+ public:
+  using Output = std::function<void(std::span<const std::uint8_t>)>;
+
+  virtual ~ChunkDecompressor() = default;
+
+  /// Pushes transport bytes; delivers decompressed bytes to `out` (zero
+  /// or more calls; the identity codec forwards the span unchanged).
+  /// Returns false once the stream has torn.
+  virtual bool feed(std::span<const std::uint8_t> in, const Output& out) = 0;
+
+  /// Signals end of transport. A stream cut mid-member tears here;
+  /// trailing non-member bytes after a complete member are ignored, like
+  /// gzip(1). Idempotent.
+  virtual void finish(const Output& out) = 0;
+
+  /// Rearms for a new stream of the same compression kind, so a
+  /// long-running ingest loop reuses one decompressor (and its buffers)
+  /// per source instead of allocating per fetch.
+  virtual void reset() = 0;
+
+  bool truncated() const { return truncated_; }
+  const std::string& error() const { return error_; }
+
+ protected:
+  bool truncated_ = false;
+  std::string error_;  ///< non-empty iff truncated(): what tore
+};
+
+/// Push-mode peer of open_input. Throws std::runtime_error for a
+/// compression whose library this binary was built without.
+std::unique_ptr<ChunkDecompressor> make_chunk_decompressor(Compression compression);
 
 #ifdef ARTEMIS_HAVE_ZLIB
 /// Deterministic single-member gzip (mtime 0, no name: the output

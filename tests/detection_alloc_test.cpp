@@ -18,6 +18,7 @@
 
 #include "artemis/detection.hpp"
 #include "feeds/monitor_hub.hpp"
+#include "ingest/pipeline.hpp"
 #include "journal/writer.hpp"
 #include "mrt/observation_convert.hpp"
 #include "pipeline/sharded_detector.hpp"
@@ -298,6 +299,64 @@ TEST(DetectionAllocTest, SteadyStateMrtImportIsAllocationFree) {
   writer.close();
   EXPECT_EQ(converter.observations_emitted(), 40u * 1001u);
   EXPECT_EQ(writer.records_written(), 40u * 1001u);
+}
+
+TEST(DetectionAllocTest, SteadyStateIngestFeedIsAllocationFree) {
+  // The always-on supervisor's inner loop: HTTP body chunks ->
+  // IngestPipeline (sniff, decompress, convert, lag check) ->
+  // JournalWriter. One source cycle primes every buffer (converter
+  // carry/batch, writer encode buffer, interned sources, the cached
+  // identity decompressor); after that, whole begin/feed/finish cycles
+  // run without a single heap allocation — the service can ingest
+  // archives forever without touching the allocator.
+  std::vector<std::uint8_t> window;
+  for (int i = 0; i < 8; ++i) {
+    mrt::UpdateRecord rec;
+    rec.peer_asn = 9;
+    rec.peer_ip = net::IpAddress::v4(0x0A000009);
+    rec.timestamp = SimTime::at_seconds(100 + i);
+    rec.update.sender = 9;
+    rec.update.announced.push_back(net::Prefix::must_parse("10.0.0.0/23"));
+    rec.update.attrs.as_path = bgp::AsPath({9, 3356, 666});
+    const auto bytes = mrt::encode_update_record(rec);
+    window.insert(window.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::string dir = ::testing::TempDir() + "artemis_ingest_alloc";
+  std::filesystem::remove_all(dir);
+  journal::JournalWriter writer(dir);
+  ingest::IngestPipeline pipeline(writer);
+
+  const auto run_cycle = [&] {
+    pipeline.begin_source();
+    // Awkward chunk sizes: one smaller than the sniff stash, the rest
+    // mid-record, like socket reads.
+    std::size_t i = 0;
+    for (const std::size_t step : {std::size_t{3}, std::size_t{41}}) {
+      pipeline.feed({window.data() + i, step});
+      i += step;
+    }
+    pipeline.feed({window.data() + i, window.size() - i});
+    return pipeline.finish_source();
+  };
+
+  const auto primed = run_cycle();
+  ASSERT_TRUE(primed.convert.clean());
+  ASSERT_EQ(primed.observations_journaled, 8u);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const auto stats = run_cycle();
+    if (!stats.convert.clean() || stats.observations_journaled != 8u) {
+      FAIL() << "ingest feed changed shape mid-loop";
+    }
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state ingest pipeline feed -> journal append allocated";
+
+  writer.close();
+  EXPECT_EQ(writer.records_written(), 8u * 1001u);
 }
 
 TEST(DetectionAllocTest, SteadyStateShardedInlineSubmitIsAllocationFree) {

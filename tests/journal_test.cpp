@@ -327,7 +327,9 @@ TEST(JournalWriterTest, StrayNonHexSegmentNamesAreIgnored) {
     EXPECT_EQ(writer.next_sequence(), stream.size());
   }
   JournalReader reader(dir);
-  EXPECT_EQ(reader.segment_count(), 2u);  // original + resume's empty
+  // Just the original: close() reclaims the resume's record-less
+  // continuation segment, so a no-op reopen leaves the journal as found.
+  EXPECT_EQ(reader.segment_count(), 1u);
   EXPECT_EQ(read_all(reader).size(), stream.size());
 }
 
@@ -450,6 +452,102 @@ TEST(JournalCorruptionTest, TruncationMidJournalIsAnError) {
         }
       },
       JournalError);
+}
+
+TEST(JournalWriterTest, FsyncPolicyParsesBothWays) {
+  JournalWriterOptions options;
+  EXPECT_TRUE(parse_fsync_policy("never", options));
+  EXPECT_EQ(options.fsync_policy, FsyncPolicy::kNever);
+  EXPECT_EQ(fsync_policy_to_string(options), "never");
+  EXPECT_TRUE(parse_fsync_policy("on_rotate", options));
+  EXPECT_EQ(options.fsync_policy, FsyncPolicy::kOnRotate);
+  EXPECT_EQ(fsync_policy_to_string(options), "on_rotate");
+  EXPECT_TRUE(parse_fsync_policy("interval:250", options));
+  EXPECT_EQ(options.fsync_policy, FsyncPolicy::kInterval);
+  EXPECT_EQ(options.fsync_interval_ms, 250);
+  EXPECT_EQ(fsync_policy_to_string(options), "interval:250");
+
+  EXPECT_FALSE(parse_fsync_policy("", options));
+  EXPECT_FALSE(parse_fsync_policy("always", options));
+  EXPECT_FALSE(parse_fsync_policy("interval:", options));
+  EXPECT_FALSE(parse_fsync_policy("interval:-5", options));
+  EXPECT_FALSE(parse_fsync_policy("interval:5s", options));
+}
+
+TEST(JournalWriterTest, FsyncPolicyDrivesFsyncCounts) {
+  const auto stream = random_stream(77, 200);
+
+  {  // kNever: not a single fsync, not even at close.
+    const std::string dir = make_temp_dir("fsync_never");
+    JournalWriter writer(dir);
+    writer.append_batch(stream);
+    writer.close();
+    EXPECT_EQ(writer.fsyncs(), 0u);
+  }
+  {  // kOnRotate: one per rotation plus the close barrier.
+    const std::string dir = make_temp_dir("fsync_rotate");
+    JournalWriterOptions options;
+    options.fsync_policy = FsyncPolicy::kOnRotate;
+    options.segment_bytes = 2048;  // force several rotations
+    JournalWriter writer(dir, options);
+    for (const auto& obs : stream) writer.append(obs);
+    writer.close();
+    EXPECT_GE(writer.segments_opened(), 2u);
+    // One fsync per rotation plus the close barrier — except when a
+    // rotation landed exactly on the final record, in which case the
+    // empty continuation segment is reclaimed unsynced at close.
+    EXPECT_GE(writer.fsyncs(), writer.segments_opened() - 1);
+    EXPECT_LE(writer.fsyncs(), writer.segments_opened());
+  }
+  {  // kInterval with a zero interval: every write(2) carries an fsync.
+    const std::string dir = make_temp_dir("fsync_interval");
+    JournalWriterOptions options;
+    options.fsync_policy = FsyncPolicy::kInterval;
+    options.fsync_interval_ms = 0;
+    JournalWriter writer(dir, options);
+    writer.append_batch(stream);
+    writer.flush();
+    const auto after_flush = writer.fsyncs();
+    EXPECT_GE(after_flush, 1u);
+    writer.close();
+    EXPECT_GE(writer.fsyncs(), after_flush);
+  }
+  {  // Explicit sync(): policy-independent durability point.
+    const std::string dir = make_temp_dir("fsync_explicit");
+    JournalWriter writer(dir);  // kNever
+    writer.append_batch(stream);
+    writer.sync();
+    EXPECT_EQ(writer.fsyncs(), 1u);
+    EXPECT_EQ(writer.records_buffered(), 0u);
+  }
+}
+
+TEST(JournalWriterTest, LagAccountingTracksBufferedRecords) {
+  const std::string dir = make_temp_dir("lag");
+  const auto stream = random_stream(78, 64);
+  JournalWriterOptions options;
+  options.buffer_bytes = 1u << 20;  // nothing drains on its own
+  JournalWriter writer(dir, options);
+
+  EXPECT_EQ(writer.records_buffered(), 0u);
+  EXPECT_EQ(writer.bytes_buffered(), kSegmentHeaderSize);  // unflushed header
+  writer.append_batch({stream.data(), 10});
+  EXPECT_EQ(writer.records_buffered(), 10u);
+  EXPECT_GT(writer.bytes_buffered(), kSegmentHeaderSize);
+  writer.append_batch({stream.data() + 10, 5});
+  EXPECT_EQ(writer.records_buffered(), 15u);
+
+  writer.flush();
+  EXPECT_EQ(writer.records_buffered(), 0u);
+  EXPECT_EQ(writer.bytes_buffered(), 0u);
+
+  writer.append_batch({stream.data() + 15, stream.size() - 15});
+  EXPECT_EQ(writer.records_buffered(), stream.size() - 15);
+  writer.close();
+  EXPECT_EQ(writer.records_buffered(), 0u);
+
+  JournalReader reader(dir);
+  EXPECT_EQ(read_all(reader).size(), stream.size());
 }
 
 TEST(JournalCorruptionTest, SequenceGapIsAnError) {

@@ -692,6 +692,69 @@ TEST(MrtImportTest, TornGzipImportsRecoveredPrefixCleanly) {
   EXPECT_FALSE(reader.truncated_tail());
 }
 
+TEST(MrtImportTest, ChunkFedTornStreamMatchesWholeFileRecovery) {
+  // The equivalence stream_reader.hpp promises: a torn gzip stream fed
+  // to the push-mode ChunkDecompressor one awkward chunk at a time
+  // recovers EXACTLY the bytes the pull-based InputStream recovers from
+  // the same torn file, and both surface the tear the same way —
+  // truncated() set, error() naming gzip, no throw.
+  std::vector<std::uint8_t> window;
+  for (int rep = 0; rep < 32; ++rep) append(window, fixture_window());
+  auto gz = gzip_bytes(window);
+  gz.resize(gz.size() / 2);
+
+  // Pull path: InputStream over the torn file.
+  std::vector<std::uint8_t> pulled;
+  bool pull_truncated = false;
+  std::string pull_error;
+  {
+    const std::string src_dir = fresh_dir("torn_eq_src");
+    const auto path = write_file(src_dir, "w.mrt.gz", gz);
+    auto in = open_input(path);
+    std::uint8_t buf[777];
+    while (const std::size_t n = in->read(buf)) {
+      pulled.insert(pulled.end(), buf, buf + n);
+    }
+    pull_truncated = in->truncated();
+    pull_error = in->error();
+  }
+  ASSERT_TRUE(pull_truncated);
+  ASSERT_GT(pulled.size(), 0u);
+
+  // Push path: same bytes through the chunk decompressor, 13 at a time.
+  auto chunked = make_chunk_decompressor(Compression::kGzip);
+  std::vector<std::uint8_t> pushed;
+  const auto collect = [&](std::span<const std::uint8_t> out) {
+    pushed.insert(pushed.end(), out.begin(), out.end());
+  };
+  for (std::size_t i = 0; i < gz.size(); i += 13) {
+    const std::size_t n = std::min<std::size_t>(13, gz.size() - i);
+    chunked->feed({gz.data() + i, n}, collect);
+  }
+  chunked->finish(collect);
+
+  EXPECT_EQ(pushed, pulled);
+  EXPECT_TRUE(chunked->truncated());
+  EXPECT_EQ(chunked->error().empty(), pull_error.empty());
+  EXPECT_NE(chunked->error().find("gzip"), std::string::npos);
+
+  // After the tear the decompressor is inert until reset(); then it
+  // handles a fresh, intact stream (the ingest loop's reuse pattern).
+  EXPECT_FALSE(chunked->feed(gz, collect));
+  chunked->reset();
+  EXPECT_FALSE(chunked->truncated());
+  const auto intact = gzip_bytes(fixture_window());
+  std::vector<std::uint8_t> round;
+  chunked->feed(intact, [&](std::span<const std::uint8_t> out) {
+    round.insert(round.end(), out.begin(), out.end());
+  });
+  chunked->finish([&](std::span<const std::uint8_t> out) {
+    round.insert(round.end(), out.begin(), out.end());
+  });
+  EXPECT_FALSE(chunked->truncated());
+  EXPECT_EQ(round, fixture_window());
+}
+
 TEST(MrtImportTest, ReadFileBytesThrowsOnTornCompressedStream) {
   // The whole-file convenience path cannot recover a prefix, so it must
   // FAIL LOUDLY on a torn stream: a tear landing on a record boundary

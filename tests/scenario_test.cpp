@@ -84,6 +84,23 @@ TEST(ScenarioTest, ForgedFirstHopBuildsType1Path) {
   EXPECT_TRUE(scenario.experiment.app.detection.detect_fake_first_hop);
 }
 
+TEST(ScenarioTest, JournalFsyncPolicyParses) {
+  const auto scenario = load_scenario_text(R"({
+    "seed": 1,
+    "topology": {"tier1": 3, "tier2": 10, "stubs": 20},
+    "experiment": {"victim": "stub:0", "attacker": "stub:1",
+                   "journal_dir": "/tmp/j", "journal_fsync": "interval:250"}})");
+  EXPECT_EQ(scenario.experiment.app.journal.fsync_policy,
+            journal::FsyncPolicy::kInterval);
+  EXPECT_EQ(scenario.experiment.app.journal.fsync_interval_ms, 250);
+  EXPECT_EQ(journal::fsync_policy_to_string(scenario.experiment.app.journal),
+            "interval:250");
+
+  EXPECT_THROW(load_scenario_text(R"({"experiment":{"victim":"stub:0",
+      "attacker":"stub:1","journal_fsync":"sometimes"}})"),
+               std::invalid_argument);
+}
+
 TEST(ScenarioTest, RejectsBadDocuments) {
   EXPECT_THROW(load_scenario_text(R"({})"), json::JsonError);  // no experiment
   EXPECT_THROW(load_scenario_text(R"({"experiment":{"victim":"stub:0",

@@ -1,0 +1,148 @@
+// artemis_ingest: the always-on archive ingest supervisor.
+//
+// Fetches RouteViews / RIPE RIS style archive URLs over HTTP (Range
+// resume, capped exponential backoff with seeded jitter), streams them
+// through the MRT converter into an observation journal, and survives
+// being killed at any instant: restart it with the same arguments and
+// ingest continues from the journal tail without duplicating or losing a
+// record (see src/ingest/supervisor.hpp for the resume protocol and
+// README "Running as a service" for operations guidance).
+//
+// Usage: artemis_ingest --journal DIR [options] <url...>
+//   --journal DIR       target journal directory (created or resumed)
+//   --fsync POLICY      never | on_rotate | interval:<ms>  (default never)
+//   --retries N         consecutive no-progress failures per URL before
+//                       the source fails (default 8)
+//   --backoff-ms N      first retry delay; doubles per retry (default 250)
+//   --max-backoff-ms N  backoff growth cap (default 30000)
+//   --timeout-ms N      connect and per-read stall timeout (default 5000)
+//   --max-lag N         journal lag bound in records (default 65536)
+//   --policy P          lag policy: flush (lossless) | drop (accounted
+//                       shedding) (default flush)
+//   --seed N            backoff jitter seed (default 1)
+//   --source NAME       source-name prefix (default "mrt")
+//   --batch N           observations per appended batch (default 4096)
+//   --stats-json        print the full per-source stats JSON on stdout
+//
+// Exit status: 0 every URL ingested clean, 3 partial (some URL failed or
+// tore mid-archive; everything recovered IS in the journal), 1 hard error
+// (unwritable journal, corrupt cursor), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ingest/supervisor.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "error: %s\n", what);
+  std::fprintf(stderr,
+               "usage: artemis_ingest --journal DIR [--fsync POLICY] [--retries N] "
+               "[--backoff-ms N] [--max-backoff-ms N] [--timeout-ms N] "
+               "[--max-lag N] [--policy flush|drop] [--seed N] [--source NAME] "
+               "[--batch N] [--stats-json] <url...>\n");
+  std::exit(2);
+}
+
+long parse_long(const char* flag, const char* text, long min_value) {
+  char* rest = nullptr;
+  const long value = std::strtol(text, &rest, 10);
+  if (rest == text || *rest != '\0' || value < min_value) {
+    usage_error((std::string(flag) + " must be an integer >= " +
+                 std::to_string(min_value))
+                    .c_str());
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace artemis;
+
+  ingest::SupervisorOptions options;
+  std::vector<std::string> urls;
+  bool stats_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      options.journal_dir = flag_value("--journal");
+    } else if (arg == "--fsync") {
+      if (!journal::parse_fsync_policy(flag_value("--fsync"), options.journal)) {
+        usage_error("--fsync must be never, on_rotate, or interval:<ms>");
+      }
+    } else if (arg == "--retries") {
+      options.fetch.max_retries =
+          static_cast<int>(parse_long("--retries", flag_value("--retries"), 0));
+    } else if (arg == "--backoff-ms") {
+      options.fetch.backoff_ms =
+          parse_long("--backoff-ms", flag_value("--backoff-ms"), 0);
+    } else if (arg == "--max-backoff-ms") {
+      options.fetch.max_backoff_ms =
+          parse_long("--max-backoff-ms", flag_value("--max-backoff-ms"), 0);
+    } else if (arg == "--timeout-ms") {
+      const long t = parse_long("--timeout-ms", flag_value("--timeout-ms"), 1);
+      options.fetch.connect_timeout_ms = static_cast<int>(t);
+      options.fetch.io_timeout_ms = static_cast<int>(t);
+    } else if (arg == "--max-lag") {
+      options.pipeline.max_lag_records = static_cast<std::size_t>(
+          parse_long("--max-lag", flag_value("--max-lag"), 1));
+    } else if (arg == "--policy") {
+      if (!ingest::parse_lag_policy(flag_value("--policy"),
+                                    options.pipeline.lag_policy)) {
+        usage_error("--policy must be flush or drop");
+      }
+    } else if (arg == "--seed") {
+      options.seed =
+          static_cast<std::uint64_t>(parse_long("--seed", flag_value("--seed"), 0));
+    } else if (arg == "--source") {
+      options.pipeline.convert.source_prefix = flag_value("--source");
+    } else if (arg == "--batch") {
+      options.pipeline.convert.batch_capacity = static_cast<std::size_t>(
+          parse_long("--batch", flag_value("--batch"), 1));
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_error(("unknown option " + std::string(arg)).c_str());
+    } else {
+      urls.emplace_back(arg);
+    }
+  }
+  if (options.journal_dir.empty()) usage_error("--journal DIR is required");
+  if (urls.empty()) usage_error("no URLs given");
+
+  try {
+    ingest::IngestSupervisor supervisor(options, urls);
+    const ingest::IngestReport report = supervisor.run();
+    for (const auto& sr : report.sources) {
+      if (sr.state == ingest::SourceState::kFailed) {
+        std::fprintf(stderr, "warning: %s failed: %s\n", sr.url.c_str(),
+                     sr.fetch.last_error.c_str());
+      } else if (sr.feed.convert.truncated || !sr.feed.convert.error.empty()) {
+        std::fprintf(stderr, "warning: %s truncated: %llu complete records ingested\n",
+                     sr.url.c_str(),
+                     static_cast<unsigned long long>(sr.feed.convert.records));
+      }
+    }
+    if (stats_json) {
+      std::printf("%s\n", ingest::ingest_report_to_json(options, report).dump(2).c_str());
+    } else {
+      std::printf("ingested %llu records across %llu sources (next_seq %llu)\n",
+                  static_cast<unsigned long long>(report.records_journaled),
+                  static_cast<unsigned long long>(report.sources.size()),
+                  static_cast<unsigned long long>(report.journal_next_seq));
+    }
+    return (report.sources_failed > 0 || report.sources_truncated > 0) ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -20,6 +20,7 @@
 //                     ("NAME:AS<peer>")
 //   --lag-s N         delivered_at = event_time + N seconds (default 0)
 //   --batch N         observations per appended batch (default 4096)
+//   --fsync POLICY    never | on_rotate | interval:<ms>  (default never)
 //
 // Files import in argument order through one monotone import clock.
 // Truncated files (interrupted downloads) import every complete record
@@ -43,7 +44,7 @@ namespace {
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
                "usage: mrt2journal --journal DIR [--source NAME] [--single-source] "
-               "[--lag-s N] [--batch N] <file.mrt...>\n");
+               "[--lag-s N] [--batch N] [--fsync POLICY] <file.mrt...>\n");
   std::exit(2);
 }
 
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
 
   std::string journal_dir;
   mrt::ObservationConvertOptions options;
+  journal::JournalWriterOptions writer_options;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +88,10 @@ int main(int argc, char** argv) {
         usage_error("--batch must be a positive integer");
       }
       options.batch_capacity = static_cast<std::size_t>(batch);
+    } else if (arg == "--fsync") {
+      if (!journal::parse_fsync_policy(flag_value("--fsync"), writer_options)) {
+        usage_error("--fsync must be never, on_rotate, or interval:<ms>");
+      }
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error(("unknown option " + std::string(arg)).c_str());
     } else {
@@ -97,7 +103,7 @@ int main(int argc, char** argv) {
 
   try {
     const mrt::MrtImportResult result =
-        mrt::import_mrt_files(files, journal_dir, options);
+        mrt::import_mrt_files(files, journal_dir, options, writer_options);
     for (const auto& err : result.file_errors) {
       std::fprintf(stderr, "warning: %s\n", err.c_str());
     }

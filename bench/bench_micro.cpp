@@ -108,6 +108,36 @@ void BM_TrieLpmLookupV6PathOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieLpmLookupV6PathOnly)->Arg(1000)->Arg(100000)->Arg(900000);
 
+/// visit_covered ("every announced more-specific of this owned block")
+/// over a v6 table — the sub-prefix hijack sweep detection runs per owned
+/// prefix, and the subtree-walk shape is nothing like single-probe LPM:
+/// it descends to the covering node then enumerates a whole subtree.
+/// Probes are /32s from the same RIR blocks the table draws from, so
+/// subtree sizes range from empty to hundreds of entries.
+void BM_TrieVisitCoveredV6(benchmark::State& state) {
+  Rng rng(13);
+  net::PrefixTrie<int> trie;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    trie.insert(random_v6_prefix(rng), static_cast<int>(i));
+  }
+  std::vector<net::Prefix> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(net::Prefix(random_v6_address(rng), 32));
+  }
+  std::size_t i = 0;
+  std::uint64_t visited = 0;
+  for (auto _ : state) {
+    trie.visit_covered(probes[i++ & 1023],
+                       [&](const net::Prefix&, const int&) { ++visited; });
+  }
+  benchmark::DoNotOptimize(visited);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["visited_per_call"] =
+      benchmark::Counter(static_cast<double>(visited) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TrieVisitCoveredV6)->Arg(1000)->Arg(100000)->Arg(900000);
+
 bgp::UpdateMessage sample_update(Rng& rng) {
   bgp::UpdateMessage u;
   u.sender = 64500;

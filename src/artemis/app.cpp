@@ -1,5 +1,8 @@
 #include "artemis/app.hpp"
 
+#include <memory>
+#include <mutex>
+
 namespace artemis::core {
 
 ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn,
@@ -9,7 +12,13 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
       std::make_unique<SimController>(network, router_asn, options.controller_latency);
   pipeline::ShardedDetectorOptions detector_options;
   detector_options.shards = options.detection_shards;
-  detector_options.threaded = false;  // sim-time causality needs inline dispatch
+  // Live-sim drivers (HijackExperiment) always pass detection_threaded =
+  // false — sim-time causality needs inline dispatch. Replay drivers may
+  // thread: the journal stream is the only input and the sim only runs
+  // after a flush().
+  detector_options.threaded = options.detection_threaded;
+  detector_options.wait_policy = options.detection_wait_policy;
+  detector_options.pin_workers = options.detection_pin;
   detector_options.detection = options.detection;
   detector_ = std::make_unique<pipeline::ShardedDetector>(config_, detector_options);
   mitigation_ =
@@ -27,9 +36,21 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
   monitoring_->attach(hub_);
   if (config_.mitigation().auto_mitigate) {
     // Alerts from every shard feed the one mitigation service (its own
-    // dedup keeps a single plan per hijack).
-    detector_->on_alert(
-        [m = mitigation_.get()](const HijackAlert& alert) { m->handle_alert(alert); });
+    // dedup keeps a single plan per hijack). Threaded mode: handlers fire
+    // concurrently on worker threads, and MitigationService (and the sim
+    // event queue it schedules into) is single-threaded — serialize.
+    if (options.detection_threaded) {
+      detector_->on_alert([m = mitigation_.get(),
+                           lock = std::make_shared<std::mutex>()](
+                              const HijackAlert& alert) {
+        const std::scoped_lock guard(*lock);
+        m->handle_alert(alert);
+      });
+    } else {
+      detector_->on_alert([m = mitigation_.get()](const HijackAlert& alert) {
+        m->handle_alert(alert);
+      });
+    }
   }
 }
 

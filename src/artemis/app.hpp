@@ -30,9 +30,19 @@ namespace artemis::core {
 
 struct AppOptions {
   DetectionOptions detection;
-  /// Detection shards in the observation pipeline (inline dispatch; >1
-  /// exercises the partitioned dedup maps deterministically).
+  /// Detection shards in the observation pipeline (>1 exercises the
+  /// partitioned dedup maps deterministically).
   std::size_t detection_shards = 1;
+  /// One worker thread per detection shard (batch-granular ring handoff).
+  /// Only meaningful for replay-style drivers: the live simulator forces
+  /// inline dispatch regardless (sim-time causality — alert handlers
+  /// schedule sim events and must run on the sim thread). merged_alerts()
+  /// is bit-identical either way; callers must flush() before reading.
+  bool detection_threaded = false;
+  /// Worker/producer wait behavior when threaded (busy_poll or futex).
+  pipeline::WaitPolicy detection_wait_policy = pipeline::WaitPolicy::kBusyPoll;
+  /// Pin shard workers to consecutive CPUs (best effort).
+  bool detection_pin = false;
   /// Controller command latency (paper: ~15 s to announce through ONOS).
   SimDuration controller_latency = SimDuration::seconds(15);
   /// When non-empty, every observation the hub delivers is also recorded

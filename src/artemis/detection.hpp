@@ -101,6 +101,16 @@ class DetectionService {
   /// unrelated to owned space.
   std::optional<Classification> classify(const feeds::Observation& obs) const;
 
+  /// SIMD-friendly batch prescreen: fills scr_rel_[i] with "observation i
+  /// overlaps some owned prefix" for the whole batch in one vectorizable
+  /// pass (SoA prefix words, branchless masked-XOR compares against each
+  /// owned prefix). Returns false — leaving the batch to the scalar path
+  /// — when it cannot be both correct and profitable: an RPKI table makes
+  /// non-overlapping observations classifiable, a large owned set makes
+  /// the O(owned × batch) sweep lose to the trie, and a tiny batch
+  /// cannot amortize the extraction pass.
+  bool prescreen(std::span<const feeds::Observation> batch);
+
   const Config& config_;
   DetectionOptions options_;
   std::vector<AlertHandler> handlers_;
@@ -113,6 +123,16 @@ class DetectionService {
   std::unordered_map<AlertKey, HijackRecord, AlertKeyHash> records_;
   std::uint64_t processed_ = 0;
   std::uint64_t matched_ = 0;
+
+  // Prescreen scratch (SoA over the current batch) and the owned-prefix
+  // snapshot it compares against. Members, not locals: their capacity
+  // survives across batches, so the steady state stays allocation-free.
+  std::vector<std::uint64_t> scr_hi_, scr_lo_, scr_len_;
+  std::vector<std::uint8_t> scr_fam_;
+  std::vector<std::uint8_t> scr_rel_;  ///< 1 = may overlap owned space
+  std::vector<std::uint64_t> owned_hi_, owned_lo_, owned_len_;
+  std::vector<std::uint8_t> owned_fam_;
+  std::size_t owned_snapshot_count_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace artemis::core

@@ -103,6 +103,10 @@ void IngestPipeline::on_batch(std::span<const feeds::Observation> batch) {
   }
   writer_.append_batch(batch);
   stats_.observations_journaled += batch.size();
+  // Tap AFTER the append succeeds, with the identical span: the live
+  // detector only ever sees observations the journal holds, keeping
+  // "replay the journal" a faithful re-run of what detection saw.
+  if (options_.detection_tap) options_.detection_tap(batch);
 }
 
 SourceFeedStats IngestPipeline::finish_source() {

@@ -31,6 +31,7 @@
 #include <span>
 #include <string>
 
+#include "feeds/observation.hpp"
 #include "journal/writer.hpp"
 #include "mrt/observation_convert.hpp"
 #include "mrt/stream_reader.hpp"
@@ -51,6 +52,14 @@ struct PipelineOptions {
   /// Backpressure bound on writer.records_buffered(), checked per batch.
   std::size_t max_lag_records = 65536;
   LagPolicy lag_policy = LagPolicy::kFlush;
+  /// Optional live-detection tap, invoked with exactly the span each
+  /// append journals (after the resume skip, after a kDrop shed). That
+  /// equivalence is the contract: in a run with no drops and no crash,
+  /// the tap sees the same stream a later journal replay would — so a
+  /// ShardedDetector fed here (artemis_ingest --detect) raises the same
+  /// alerts the replay path does. Called on the ingest thread; a threaded
+  /// detector's submit_batch is its single producer.
+  feeds::ObservationBatchHandler detection_tap;
 };
 
 /// Per-source ledger, reset by begin_source(). The "no silent loss"

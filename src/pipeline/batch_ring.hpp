@@ -1,0 +1,206 @@
+// BatchRing: a bounded ring of recyclable ObservationBatch slots — the
+// batch-granular stage handoff of the threaded pipeline.
+//
+// The per-observation SpscRing handoff costs two copy-assigns and two
+// release stores per observation (~50 ns), which swallows the sharding
+// win at N>1. NDN-DPDK's poll-mode RX loops show the fix: move
+// burst-sized batches through the ring, never single packets. BatchRing
+// applies that shape to the pipeline: a fixed pool of pre-reserved
+// ObservationBatch slots cycles between two pointer rings —
+//
+//     producer --acquire--> [free_] --publish--> [filled_] --take--> worker
+//        ^                                                            |
+//        +------------------------ release --------------------------+
+//
+// The producer acquires a free slot, scatters observations into it
+// (copy-assign into recycled elements: one copy per observation, total),
+// and publishes the whole batch with one release store per ~drain_batch
+// observations. The worker processes the batch in place and releases the
+// pointer back to the free ring — clear() resets the logical size only,
+// so every slot's element buffers stay owned by the slot and no memory
+// is ever freed on a thread other than the one that allocated it. After
+// one warm-up lap of the pool, the steady state allocates nothing
+// (tests/detection_alloc_test.cpp enforces this).
+//
+// Contract: exactly one producer thread (acquire/publish) and one
+// consumer thread (take/release), same as SpscRing. The pool is the
+// backpressure bound: when every slot is in flight, acquire blocks per
+// the configured WaitPolicy — pause/yield for kBusyPoll, a short spin
+// then an eventcount sleep (std::atomic::wait, a futex on Linux) for
+// kFutex. Wake-ups go through per-side eventcount counters rather than
+// the ring indices so a notify can never be lost between a sleeper's
+// empty-check and its wait (the counter is bumped by every publish /
+// release / wake, so a stale snapshot returns immediately).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pipeline/observation_batch.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "pipeline/wait_policy.hpp"
+
+namespace artemis::pipeline {
+
+class BatchRing {
+ public:
+  /// `depth` slots (min 2) of `batch_capacity` observations each. Both
+  /// internal pointer rings are sized >= depth, so publish/release can
+  /// never fail — the pool itself is the only bound.
+  BatchRing(std::size_t depth, std::size_t batch_capacity,
+            WaitPolicy policy = WaitPolicy::kBusyPoll)
+      : batch_capacity_(batch_capacity < 1 ? 1 : batch_capacity),
+        policy_(policy),
+        filled_(depth < 2 ? 2 : depth),
+        free_(depth < 2 ? 2 : depth) {
+    const std::size_t slots = depth < 2 ? 2 : depth;
+    pool_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      auto batch = std::make_unique<ObservationBatch>();
+      batch->reserve(batch_capacity_);
+      const bool pushed = free_.try_push(batch.get());
+      assert(pushed);
+      (void)pushed;
+      pool_.push_back(std::move(batch));
+    }
+  }
+
+  BatchRing(const BatchRing&) = delete;
+  BatchRing& operator=(const BatchRing&) = delete;
+
+  std::size_t depth() const { return pool_.size(); }
+  std::size_t batch_capacity() const { return batch_capacity_; }
+  WaitPolicy policy() const { return policy_; }
+
+  // ---- producer side -----------------------------------------------------
+
+  /// Grabs a recycled slot, or nullptr when every slot is in flight.
+  ObservationBatch* try_acquire() {
+    ObservationBatch* batch = nullptr;
+    return free_.try_pop(batch) ? batch : nullptr;
+  }
+
+  /// Grabs a recycled slot, blocking per the wait policy while the
+  /// consumer catches up (this is the pipeline's backpressure point).
+  ObservationBatch* acquire() {
+    int spins = 0;
+    for (;;) {
+      if (ObservationBatch* batch = try_acquire()) return batch;
+      if (++spins < 64) {
+        cpu_pause();
+      } else if (policy_ == WaitPolicy::kBusyPoll) {
+        // Yield, don't just pause: on an oversubscribed host the consumer
+        // needs this core to free a slot.
+        std::this_thread::yield();
+      } else {
+        const std::uint64_t seen =
+            producer_events_.load(std::memory_order_acquire);
+        if (ObservationBatch* batch = try_acquire()) return batch;
+        producer_events_.wait(seen, std::memory_order_acquire);
+      }
+    }
+  }
+
+  /// Hands a filled batch to the consumer. FIFO; never fails (the pool
+  /// bounds how many batches can be in flight).
+  void publish(ObservationBatch* batch) {
+    const bool pushed = filled_.try_push(batch);
+    assert(pushed);
+    (void)pushed;
+    if (policy_ == WaitPolicy::kFutex) {
+      consumer_events_.fetch_add(1, std::memory_order_release);
+      consumer_events_.notify_all();
+    }
+  }
+
+  // ---- consumer side -----------------------------------------------------
+
+  /// Oldest published batch, or nullptr when none is ready.
+  ObservationBatch* try_take() {
+    ObservationBatch* batch = nullptr;
+    return filled_.try_pop(batch) ? batch : nullptr;
+  }
+
+  /// Oldest published batch, waiting per policy. Returns nullptr only
+  /// once `stop` is set AND the ring has been re-checked empty — every
+  /// publish that happens-before the stop flag is still delivered.
+  ObservationBatch* take(const std::atomic<bool>& stop) {
+    int idle = 0;
+    for (;;) {
+      if (ObservationBatch* batch = try_take()) return batch;
+      if (stop.load(std::memory_order_acquire)) {
+        if (ObservationBatch* batch = try_take()) return batch;
+        return nullptr;
+      }
+      ++idle;
+      if (idle < 64) {
+        cpu_pause();
+      } else if (policy_ == WaitPolicy::kBusyPoll) {
+        // Idle ladder: yield first, then a short sleep — real feeds go
+        // seconds between messages and a parked worker must not peg a
+        // core even under the busy-poll policy.
+        if (idle < 4096) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      } else {
+        const std::uint64_t seen =
+            consumer_events_.load(std::memory_order_acquire);
+        if (ObservationBatch* batch = try_take()) return batch;
+        if (stop.load(std::memory_order_acquire)) continue;  // drain + exit
+        consumer_events_.wait(seen, std::memory_order_acquire);
+      }
+    }
+  }
+
+  /// Recycles a processed batch back to the producer. The clear() keeps
+  /// the slot's element buffers intact, so the next scatter into this
+  /// slot copy-assigns into warm memory.
+  void release(ObservationBatch* batch) {
+    batch->clear();
+    const bool pushed = free_.try_push(batch);
+    assert(pushed);
+    (void)pushed;
+    if (policy_ == WaitPolicy::kFutex) {
+      producer_events_.fetch_add(1, std::memory_order_release);
+      producer_events_.notify_all();
+    }
+  }
+
+  // ---- shutdown / introspection ------------------------------------------
+
+  /// Kicks a consumer that may be futex-sleeping (call after setting the
+  /// stop flag). Harmless under busy-poll.
+  void wake_consumer() {
+    consumer_events_.fetch_add(1, std::memory_order_release);
+    consumer_events_.notify_all();
+  }
+
+  /// True when every slot is back in the free ring (nothing in flight,
+  /// nothing published and unconsumed). Exact only when both sides are
+  /// quiescent; meant for tests.
+  bool all_recycled() const { return free_.size() == pool_.size(); }
+
+  std::size_t published_pending() const { return filled_.size(); }
+
+ private:
+  std::size_t batch_capacity_;
+  WaitPolicy policy_;
+  std::vector<std::unique_ptr<ObservationBatch>> pool_;
+  SpscRing<ObservationBatch*> filled_;  ///< producer pushes, consumer pops
+  SpscRing<ObservationBatch*> free_;    ///< consumer pushes, producer pops
+  /// Eventcounts for the futex policy: bumped on every publish (consumer
+  /// side) / release (producer side), so atomic::wait on a snapshot taken
+  /// before the event returns immediately — no lost wake-ups.
+  alignas(64) std::atomic<std::uint64_t> consumer_events_{0};
+  alignas(64) std::atomic<std::uint64_t> producer_events_{0};
+};
+
+}  // namespace artemis::pipeline

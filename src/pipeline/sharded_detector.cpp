@@ -1,10 +1,13 @@
 #include "pipeline/sharded_detector.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <functional>
 #include <stdexcept>
 #include <tuple>
+
+#include "util/affinity.hpp"
 
 namespace artemis::pipeline {
 
@@ -12,7 +15,12 @@ ShardedDetector::Shard::Shard(const core::Config& config,
                               const ShardedDetectorOptions& options)
     : service(config, options.detection) {
   if (options.threaded) {
-    ring = std::make_unique<SpscRing<feeds::Observation>>(options.queue_capacity);
+    // queue_capacity is an observation budget; the ring holds it as
+    // drain_batch-sized slots.
+    const std::size_t depth =
+        std::max<std::size_t>(2, options.queue_capacity / options.drain_batch);
+    ring = std::make_unique<BatchRing>(depth, options.drain_batch,
+                                       options.wait_policy);
   }
 }
 
@@ -26,8 +34,9 @@ ShardedDetector::ShardedDetector(const core::Config& config,
     shards_.push_back(std::make_unique<Shard>(config, options_));
   }
   if (options_.threaded) {
-    for (auto& shard : shards_) {
-      shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard* s = shards_[i].get();
+      shards_[i]->worker = std::thread([this, s, i] { worker_loop(*s, i); });
     }
   }
 }
@@ -39,26 +48,56 @@ std::size_t ShardedDetector::shard_of(const net::Prefix& prefix,
   return std::hash<net::Prefix>{}(prefix) % shard_count;
 }
 
-void ShardedDetector::submit(const feeds::Observation& obs) {
-  Shard& shard = *shards_[shard_of(obs.prefix, shards_.size())];
-  if (!options_.threaded) {
-    shard.service.process(obs);
-    return;
+void ShardedDetector::note_producer_thread() {
+  // Relaxed everywhere: this is a debugging guard on the single-producer
+  // contract, not a synchronization point.
+  if (producer_thread_.load(std::memory_order_relaxed) == std::thread::id{}) {
+    std::thread::id expected{};
+    producer_thread_.compare_exchange_strong(expected,
+                                             std::this_thread::get_id(),
+                                             std::memory_order_relaxed);
   }
-  // Copy-assign handoff: the ring slot's buffers are recycled, so the
-  // steady-state push allocates nothing (see spsc_ring.hpp). Backpressure
-  // pauses briefly (cheap on multicore), then yields — mandatory on
-  // oversubscribed / single-core machines where the consumer needs the
-  // core to make room.
-  int spins = 0;
-  while (!shard.ring->try_push(obs)) {
-    if (++spins < 64) {
-      cpu_pause();
-    } else {
-      std::this_thread::yield();
+}
+
+void ShardedDetector::stage(const feeds::Observation& obs) {
+  Shard& shard = *shards_[shard_of(obs.prefix, shards_.size())];
+  if (shard.staging == nullptr) {
+    // Blocks per wait_policy when every slot is in flight — this is the
+    // backpressure point; nothing is ever dropped.
+    shard.staging = shard.ring->acquire();
+  }
+  // Copy-assign into the slot's recycled element: the one and only copy
+  // an observation makes on its way to a worker (the worker processes
+  // the batch in place).
+  shard.staging->emplace_back() = obs;
+  ++shard.pushed;
+  if (shard.staging->size() == options_.drain_batch) {
+    shard.ring->publish(shard.staging);
+    shard.staging = nullptr;
+  }
+}
+
+void ShardedDetector::publish_staged() {
+  for (auto& shard : shards_) {
+    if (shard->staging != nullptr && !shard->staging->empty()) {
+      shard->ring->publish(shard->staging);
+      shard->staging = nullptr;
     }
   }
-  ++shard.pushed;
+}
+
+void ShardedDetector::submit(const feeds::Observation& obs) {
+  if (!options_.threaded) {
+    shards_[shard_of(obs.prefix, shards_.size())]->service.process(obs);
+    return;
+  }
+  note_producer_thread();
+  stage(obs);
+  // Staging never outlives the submit call: a single-observation stream
+  // gets batches of one (same ring traffic as the old per-observation
+  // handoff, no worse), while callers with real batches use submit_batch
+  // and get the full amortization.
+  publish_staged();
 }
 
 void ShardedDetector::submit_batch(std::span<const feeds::Observation> batch) {
@@ -88,7 +127,13 @@ void ShardedDetector::submit_batch(std::span<const feeds::Observation> batch) {
     }
     return;
   }
-  for (const auto& obs : batch) submit(obs);
+  // Threaded: scatter the whole span into per-shard staging batches in
+  // one pass, then publish the partials. Ring traffic is one publish per
+  // full drain_batch plus at most one partial per shard per call —
+  // versus one push per observation before.
+  note_producer_thread();
+  for (const auto& obs : batch) stage(obs);
+  publish_staged();
 }
 
 void ShardedDetector::attach(feeds::MonitorHub& hub) {
@@ -114,9 +159,29 @@ void ShardedDetector::on_alert(core::AlertHandler handler) {
 
 void ShardedDetector::flush() {
   if (!options_.threaded) return;
+  // flush() reads `pushed` and publishes staging batches — both owned by
+  // the producer thread. Anyone else calling it would race the producer.
+  const std::thread::id producer = producer_thread_.load(std::memory_order_relaxed);
+  if (producer != std::thread::id{} && producer != std::this_thread::get_id()) {
+    throw std::logic_error(
+        "ShardedDetector::flush: must be called from the producer thread");
+  }
+  publish_staged();
   for (auto& shard : shards_) {
+    // Escalating wait: pause (the worker is usually a few hundred ns
+    // away), yield (give a same-core worker the CPU), then sleep — a
+    // descheduled worker on an oversubscribed host must not cost the
+    // flusher a core.
+    int spins = 0;
     while (shard->drained.load(std::memory_order_acquire) < shard->pushed) {
-      std::this_thread::yield();
+      ++spins;
+      if (spins < 64) {
+        cpu_pause();
+      } else if (spins < 4096) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
     }
   }
 }
@@ -125,50 +190,32 @@ void ShardedDetector::stop() {
   if (stopped_) return;
   stopped_ = true;
   if (!options_.threaded) return;
+  // Publish partials first: every staged observation must reach its
+  // worker. The publishes happen-before the stopping store, and take()
+  // re-checks the ring after observing the flag, so nothing is stranded.
+  publish_staged();
   stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->ring->wake_consumer();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
 
-void ShardedDetector::worker_loop(Shard& shard) {
-  ObservationBatch batch;
-  batch.reserve(options_.drain_batch);
-  bool draining = false;
-  int idle_spins = 0;
+void ShardedDetector::worker_loop(Shard& shard, std::size_t index) {
+  if (options_.pin_workers) {
+    // Best effort: a refused affinity call (cgroup mask, non-Linux) just
+    // leaves the worker floating.
+    util::pin_current_thread_to_cpu(
+        (options_.pin_cpu_base + static_cast<unsigned>(index)) %
+        util::cpu_count());
+  }
   for (;;) {
-    batch.clear();
-    while (batch.size() < options_.drain_batch) {
-      feeds::Observation& slot = batch.emplace_back();
-      if (!shard.ring->try_pop(slot)) {
-        batch.pop_back();
-        break;
-      }
-    }
-    if (!batch.empty()) {
-      idle_spins = 0;
-      shard.service.process_batch(batch.view());
-      shard.drained.fetch_add(batch.size(), std::memory_order_release);
-      continue;
-    }
-    if (draining) return;  // stop observed AND ring re-checked empty: dry
-    if (stopping_.load(std::memory_order_acquire)) {
-      // All submissions happen-before the stopping flag; loop once more so
-      // anything pushed between our empty poll and the flag read drains.
-      draining = true;
-      continue;
-    }
-    // Idle backoff ladder: pause (hot-path latency), yield (give the
-    // producer the core), then a short sleep — real feeds go seconds
-    // between messages, and a parked worker must not peg a core.
-    ++idle_spins;
-    if (idle_spins < 64) {
-      cpu_pause();
-    } else if (idle_spins < 4096) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
+    ObservationBatch* batch = shard.ring->take(stopping_);
+    if (batch == nullptr) return;  // stop observed AND ring re-checked empty
+    shard.service.process_batch(batch->view());
+    const std::size_t n = batch->size();
+    shard.ring->release(batch);
+    shard.drained.fetch_add(n, std::memory_order_release);
   }
 }
 

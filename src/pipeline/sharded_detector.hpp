@@ -10,23 +10,31 @@
 // statistics are merged on read.
 //
 // Determinism: each shard processes its observations in submission order
-// (inline dispatch trivially; threaded mode because the SPSC ring is
+// (inline dispatch trivially; threaded mode because the batch ring is
 // FIFO and each shard has exactly one worker). Since per-shard results
 // depend only on the shard's own subsequence, ShardedDetector{N} produces
 // bit-identical alerts, counts and first-seen times for every N — with
-// or without threads — as long as submissions come from one thread in a
-// fixed order. tests/pipeline_test.cpp enforces N=1 vs N=4 equivalence.
+// or without threads, under either wait policy, pinned or not — as long
+// as submissions come from one thread in a fixed order.
+// tests/pipeline_test.cpp enforces the full matrix against the N=1
+// inline reference.
 //
 // Modes:
 //   * inline (default): submit() dispatches on the calling thread. With
 //     shards == 1 this is the deterministic single-threaded mode the sim
 //     uses — identical to a bare DetectionService, full batch
 //     amortization included.
-//   * threaded: one worker per shard drains a fixed-capacity SPSC ring
-//     in batches of up to `drain_batch`. submit*() must be called from a
+//   * threaded: one worker per shard drains a BatchRing of recyclable
+//     ObservationBatch slots. The producer scatters each submitted span
+//     into per-shard staging batches in one pass and publishes whole
+//     batches — one ring operation per ~drain_batch observations instead
+//     of one per observation — and publishes any partial staging batch
+//     at the end of every submit call, so a quiet stream never strands
+//     observations in the producer. submit*() must be called from a
 //     single thread (it is the ring producer); a full ring applies
-//     backpressure by yielding, never dropping. Alert handlers run on
-//     worker threads in this mode.
+//     backpressure per the wait policy, never dropping. Alert handlers
+//     run on worker threads in this mode. Workers can optionally be
+//     pinned to consecutive CPUs (pin_workers / pin_cpu_base).
 #pragma once
 
 #include <atomic>
@@ -37,23 +45,37 @@
 #include <vector>
 
 #include "artemis/detection.hpp"
+#include "pipeline/batch_ring.hpp"
 #include "pipeline/observation_batch.hpp"
-#include "pipeline/spsc_ring.hpp"
+#include "pipeline/wait_policy.hpp"
 
 namespace artemis::pipeline {
 
 struct ShardedDetectorOptions {
   std::size_t shards = 1;
-  /// One worker thread per shard draining an SPSC ring; false = inline
+  /// One worker thread per shard draining a batch ring; false = inline
   /// deterministic dispatch on the submitting thread.
   bool threaded = false;
-  /// Per-shard ring capacity in observations (rounded up to a power of
-  /// two). Full rings backpressure the producer. Sized so the slot array
-  /// stays cache-resident — bigger rings trade L2 hits for slack and
-  /// measure *slower* on bench_pipeline.
+  /// Per-shard buffering budget in observations. The ring holds
+  /// queue_capacity / drain_batch batch slots (min 2, rounded up to a
+  /// power of two); when every slot is in flight the producer
+  /// backpressures per wait_policy. Sized so the in-flight working set
+  /// stays cache-resident — bigger rings trade L2 hits for slack.
   std::size_t queue_capacity = 1024;
-  /// Max observations a worker drains into one process_batch call.
+  /// Handoff granule: capacity of one ring slot, and the most
+  /// observations one process_batch call sees. The amortization knob —
+  /// one ring publish per drain_batch observations on a saturated
+  /// stream.
   std::size_t drain_batch = 128;
+  /// What producer (full ring) and workers (empty ring) do while
+  /// waiting: pause-spin for latency, or futex-sleep for
+  /// oversubscription friendliness. Either way the output is
+  /// bit-identical.
+  WaitPolicy wait_policy = WaitPolicy::kBusyPoll;
+  /// Pin worker i to CPU (pin_cpu_base + i) % cpu_count. Best-effort:
+  /// unsupported platforms and refused syscalls run unpinned.
+  bool pin_workers = false;
+  unsigned pin_cpu_base = 0;
   core::DetectionOptions detection;
 };
 
@@ -69,8 +91,9 @@ class ShardedDetector {
   /// The sharding function: hash of the observed prefix, mod shard count.
   static std::size_t shard_of(const net::Prefix& prefix, std::size_t shard_count);
 
-  /// Routes one observation to its shard (copying into the ring in
-  /// threaded mode). Single-threaded producers only.
+  /// Routes one observation to its shard (scattered into the shard's
+  /// staging batch and published immediately in threaded mode).
+  /// Single-threaded producers only.
   void submit(const feeds::Observation& obs);
 
   /// Routes a batch. With shards == 1 the whole span goes through one
@@ -87,12 +110,16 @@ class ShardedDetector {
   /// iterating the handler list, and throws std::logic_error.
   void on_alert(core::AlertHandler handler);
 
-  /// Barrier: returns once every submitted observation has been
-  /// processed. No-op in inline mode.
+  /// Barrier: publishes any partial staging batches and returns once
+  /// every submitted observation has been processed. No-op in inline
+  /// mode. Producer-thread-only (it reads producer-side counters and
+  /// publishes staging batches); calling it from any other thread after
+  /// the first submit throws std::logic_error.
   void flush();
 
-  /// Drains outstanding work and joins the workers. Idempotent; called by
-  /// the destructor. No submissions may follow.
+  /// Drains outstanding work (staged and in-flight) and joins the
+  /// workers. Idempotent; called by the destructor. No submissions may
+  /// follow.
   void stop();
 
   std::size_t shard_count() const { return shards_.size(); }
@@ -120,18 +147,28 @@ class ShardedDetector {
   struct Shard {
     Shard(const core::Config& config, const ShardedDetectorOptions& options);
     core::DetectionService service;
-    std::unique_ptr<SpscRing<feeds::Observation>> ring;  ///< threaded only
+    std::unique_ptr<BatchRing> ring;         ///< threaded only
+    ObservationBatch* staging = nullptr;     ///< producer-side partial batch
     std::thread worker;
-    std::uint64_t pushed = 0;  ///< producer-thread only
+    std::uint64_t pushed = 0;                ///< producer-thread only
     alignas(64) std::atomic<std::uint64_t> drained{0};
   };
 
-  void worker_loop(Shard& shard);
+  void worker_loop(Shard& shard, std::size_t index);
+  /// Scatters one observation into its shard's staging batch, publishing
+  /// the batch when it reaches drain_batch. Threaded mode only.
+  void stage(const feeds::Observation& obs);
+  /// Publishes every non-empty staging batch (end of a submit call,
+  /// flush, stop).
+  void publish_staged();
+  /// Records the producer thread on first submit; flush() checks it.
+  void note_producer_thread();
 
   ShardedDetectorOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
+  std::atomic<std::thread::id> producer_thread_{};  ///< set on first submit
 };
 
 }  // namespace artemis::pipeline

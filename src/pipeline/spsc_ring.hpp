@@ -82,6 +82,29 @@ class SpscRing {
   }
   bool empty() const { return size() == 0; }
 
+  // ---- sleep/wake hooks for a futex-style wait policy --------------------
+  //
+  // The ring itself never blocks; these expose the head/tail sequence
+  // counters so a caller can sleep on "nothing changed yet" via
+  // std::atomic::wait (a futex on Linux, no allocation, no mutex). The
+  // protocol is the standard one: snapshot the counter, re-check the ring,
+  // then wait for the counter to move past the snapshot. Notifies are only
+  // needed when the other side might be sleeping — busy-poll callers skip
+  // them entirely and the push/pop hot path stays syscall-free.
+
+  std::uint64_t head_seq() const { return head_.load(std::memory_order_acquire); }
+  std::uint64_t tail_seq() const { return tail_.load(std::memory_order_acquire); }
+
+  /// Consumer: blocks until the producer moves head past `seen`.
+  void wait_head_changed(std::uint64_t seen) const { head_.wait(seen, std::memory_order_acquire); }
+  /// Producer: blocks until the consumer moves tail past `seen`.
+  void wait_tail_changed(std::uint64_t seen) const { tail_.wait(seen, std::memory_order_acquire); }
+
+  /// Producer, after try_push, when the consumer may be sleeping.
+  void notify_head() { head_.notify_all(); }
+  /// Consumer, after try_pop, when the producer may be sleeping.
+  void notify_tail() { tail_.notify_all(); }
+
  private:
   std::size_t mask_;
   std::vector<T> slots_;

@@ -1,0 +1,48 @@
+// Wait-policy knob for the threaded pipeline's empty-ring and
+// backpressure paths.
+//
+// Both sides of a shard handoff sometimes have nothing to do: the worker
+// when its ring is empty, the producer when every batch slot is in
+// flight. What they do next is a deployment decision, not a code one:
+//
+//   * kBusyPoll — pause-spin (with a yield escalation), the latency
+//     winner when each shard owns a core. Never syscalls on the hot
+//     path; a parked worker still costs its core.
+//   * kFutex — after a short spin, sleep on the ring counter via
+//     std::atomic::wait (a futex on Linux). The oversubscription-
+//     friendly policy: a waiting thread costs nothing until the other
+//     side publishes and notifies.
+//
+// Either policy produces bit-identical pipeline output — waiting is
+// about *when* work happens, never *what* (the determinism matrix in
+// tests/pipeline_test.cpp runs both).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace artemis::pipeline {
+
+enum class WaitPolicy : std::uint8_t {
+  kBusyPoll,  ///< pause-spin / yield; lowest latency, pegs a core
+  kFutex,     ///< spin briefly, then sleep on the ring counter (futex)
+};
+
+inline std::string_view to_string(WaitPolicy policy) {
+  return policy == WaitPolicy::kBusyPoll ? "busy_poll" : "futex";
+}
+
+/// Parses "busy_poll" / "futex". Returns false on any other text.
+inline bool parse_wait_policy(std::string_view text, WaitPolicy& policy) {
+  if (text == "busy_poll") {
+    policy = WaitPolicy::kBusyPoll;
+    return true;
+  }
+  if (text == "futex") {
+    policy = WaitPolicy::kFutex;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace artemis::pipeline

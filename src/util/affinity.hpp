@@ -1,0 +1,25 @@
+// Portable CPU-affinity shim for the pipeline's shard workers.
+//
+// Pinning a poll-mode worker to one core keeps its ring slots and
+// detection state in that core's cache and stops the scheduler from
+// migrating it mid-burst (the NDN-DPDK per-core worker discipline).
+// Affinity syscalls are platform-specific, so the pipeline talks to this
+// two-function shim instead: on Linux it is pthread_setaffinity_np, on
+// anything else a no-op that reports failure — callers treat pinning as
+// an optimization hint, never a correctness requirement.
+#pragma once
+
+namespace artemis::util {
+
+/// Number of CPUs the process may run on (>= 1). Prefers the current
+/// affinity mask over the raw core count so pinning respects cgroup /
+/// taskset restrictions.
+unsigned cpu_count();
+
+/// Pins the calling thread to `cpu` (modulo nothing — pass a valid index,
+/// e.g. `base + worker_index % cpu_count()`). Returns false when the
+/// platform has no affinity support or the syscall is refused; the caller
+/// should carry on unpinned.
+bool pin_current_thread_to_cpu(unsigned cpu);
+
+}  // namespace artemis::util

@@ -16,6 +16,7 @@
 #include "pipeline/observation_batch.hpp"
 #include "pipeline/sharded_detector.hpp"
 #include "pipeline/spsc_ring.hpp"
+#include "rpki/roa.hpp"
 #include "util/rng.hpp"
 
 namespace artemis::pipeline {
@@ -23,6 +24,7 @@ namespace {
 
 using core::AlertKey;
 using core::Config;
+using core::DetectionOptions;
 using core::DetectionService;
 using core::HijackAlert;
 using core::OwnedPrefix;
@@ -225,6 +227,91 @@ TEST(PipelineOracleTest, MemoizationRespectsTypeAndPathChanges) {
   EXPECT_EQ(service.observations_processed(), 5u);
 }
 
+// The SIMD prescreen only engages on batches >= 16 with a small owned set
+// and no ROA table; in every configuration the batch-vs-loop equivalence
+// must hold bit-for-bit. These pin the prescreen's enable/disable edges
+// that the generic oracle above exercises only incidentally.
+
+/// Runs `stream` through process() one-by-one and through process_batch
+/// as a single span, asserting identical counters and alerts.
+void expect_batch_equals_loop(const Config& config, DetectionOptions options,
+                              const std::vector<Observation>& stream) {
+  DetectionService loop_service(config, options);
+  for (const auto& obs : stream) loop_service.process(obs);
+  DetectionService batch_service(config, options);
+  batch_service.process_batch(stream);
+  EXPECT_EQ(batch_service.observations_processed(),
+            loop_service.observations_processed());
+  EXPECT_EQ(batch_service.observations_matched(),
+            loop_service.observations_matched());
+  ASSERT_EQ(batch_service.alerts().size(), loop_service.alerts().size());
+  for (std::size_t i = 0; i < loop_service.alerts().size(); ++i) {
+    expect_same_alert(batch_service.alerts()[i], loop_service.alerts()[i]);
+  }
+}
+
+TEST(PrescreenOracleTest, AllIrrelevantBatchSkipsButCountsEverything) {
+  const Config config = make_config();
+  std::vector<Observation> stream;
+  for (int i = 0; i < 64; ++i) {  // >= 16: prescreen engages, zero overlap
+    stream.push_back(make_obs("203.0.113.0/24", {9, 3356, 666}, "ris-live",
+                              100.0 + i));
+  }
+  DetectionService service(config);
+  service.process_batch(stream);
+  EXPECT_EQ(service.observations_processed(), 64u);  // skipped != uncounted
+  EXPECT_EQ(service.observations_matched(), 0u);
+  EXPECT_TRUE(service.alerts().empty());
+  expect_batch_equals_loop(config, {}, stream);
+}
+
+TEST(PrescreenOracleTest, MixedBatchWithWithdrawalsAndSubprefixes) {
+  const Config config = make_config();
+  auto stream = scenario_stream(21, 500);
+  // Withdrawals never classify; the prescreen must mark them irrelevant
+  // even when their prefix overlaps owned space.
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    stream[i].type = ObservationType::kWithdrawal;
+    stream[i].attrs = {};
+  }
+  expect_batch_equals_loop(config, {}, stream);
+}
+
+TEST(PrescreenOracleTest, RoaTableDisablesPrescreenNotDetection) {
+  // With a ROA table, observations outside owned space can still raise
+  // kRpkiInvalid — the prescreen must stand down rather than skip them.
+  const Config config = make_config();
+  rpki::RoaTable roas;
+  roas.add({net::Prefix::must_parse("203.0.113.0/24"), 64500, 0});
+  DetectionOptions options;
+  options.roa_table = &roas;
+  std::vector<Observation> stream;
+  for (int i = 0; i < 48; ++i) {
+    // Outside owned space, violates the ROA: must alert despite being
+    // prescreen-irrelevant by the overlap test.
+    stream.push_back(make_obs("203.0.113.0/24", {9, 3356, 666}, "ris-live",
+                              100.0 + i));
+  }
+  DetectionService service(config, options);
+  service.process_batch(stream);
+  EXPECT_GT(service.alerts().size(), 0u);
+  expect_batch_equals_loop(config, options, stream);
+}
+
+TEST(PrescreenOracleTest, LargeOwnedSetFallsBackToScalarPath) {
+  // > 16 owned prefixes: the O(batch x owned) compare loop would cost
+  // more than it saves, so the prescreen disables itself. Equivalence
+  // must hold either way.
+  Config config = make_config();
+  for (int i = 0; i < 20; ++i) {
+    OwnedPrefix extra;
+    extra.prefix = net::Prefix::must_parse("172.16." + std::to_string(i) + ".0/24");
+    extra.legitimate_origins.insert(65010);
+    config.add_owned(std::move(extra));
+  }
+  expect_batch_equals_loop(config, {}, scenario_stream(23, 400));
+}
+
 // ------------------------------------------------------- sharded equivalence
 
 TEST(ShardedDetectorTest, ShardOfIsStableAndInRange) {
@@ -341,6 +428,83 @@ TEST(ShardedDetectorTest, AttachConsumesHubBatches) {
   EXPECT_EQ(detector.observations_processed(), stream.size());
   EXPECT_EQ(hub.total_observations(), stream.size());
   EXPECT_GT(detector.merged_alerts().size(), 0u);
+}
+
+TEST(ShardedDetectorTest, DeterminismMatrixAcrossModesPoliciesAndPinning) {
+  // The acceptance matrix: shards {1,4} x {inline,threaded} x wait policy
+  // {busy_poll,futex} x {pinned,unpinned} all reproduce the N=1 inline
+  // reference bit-for-bit. (Inline dispatch never touches the ring, so
+  // policy/pin only multiply the threaded legs.)
+  const Config config = make_config();
+  const auto stream = scenario_stream(13, 3000);
+
+  ShardedDetectorOptions ref_options;
+  ref_options.shards = 1;
+  ShardedDetector reference(config, ref_options);
+  reference.submit_batch(stream);
+  const auto ref_alerts = reference.merged_alerts();
+  ASSERT_GT(ref_alerts.size(), 0u);
+
+  auto check = [&](ShardedDetector& other) {
+    EXPECT_EQ(other.observations_processed(), reference.observations_processed());
+    EXPECT_EQ(other.observations_matched(), reference.observations_matched());
+    const auto other_alerts = other.merged_alerts();
+    ASSERT_EQ(other_alerts.size(), ref_alerts.size());
+    for (std::size_t i = 0; i < ref_alerts.size(); ++i) {
+      expect_same_alert(other_alerts[i], ref_alerts[i]);
+    }
+  };
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    {
+      ShardedDetectorOptions options;
+      options.shards = shards;
+      ShardedDetector inline_run(config, options);
+      inline_run.submit_batch(stream);
+      check(inline_run);
+    }
+    for (const WaitPolicy policy : {WaitPolicy::kBusyPoll, WaitPolicy::kFutex}) {
+      for (const bool pin : {false, true}) {
+        ShardedDetectorOptions options;
+        options.shards = shards;
+        options.threaded = true;
+        options.wait_policy = policy;
+        options.pin_workers = pin;
+        options.queue_capacity = 256;  // small ring: exercise backpressure
+        options.drain_batch = 32;
+        ShardedDetector threaded(config, options);
+        // Uneven submit chunks so staged partial batches get published.
+        std::size_t i = 0;
+        for (std::size_t chunk = 1; i < stream.size(); chunk = chunk % 97 + 13) {
+          const std::size_t n = std::min(chunk, stream.size() - i);
+          threaded.submit_batch({stream.data() + i, n});
+          i += n;
+        }
+        threaded.flush();
+        check(threaded);
+        threaded.stop();
+        check(threaded);  // stop() must not lose or duplicate anything
+      }
+    }
+  }
+}
+
+TEST(ShardedDetectorTest, FlushFromNonProducerThreadThrows) {
+  // flush() waits for the workers by spinning on the producer's own
+  // counters; calling it from a second thread would race the (single)
+  // producer contract, so it must refuse loudly instead of corrupting.
+  const Config config = make_config();
+  ShardedDetectorOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  ShardedDetector detector(config, options);
+  detector.submit(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  std::thread other([&] {
+    EXPECT_THROW(detector.flush(), std::logic_error);
+  });
+  other.join();
+  detector.flush();  // the producer thread itself is still allowed
+  EXPECT_EQ(detector.observations_processed(), 1u);
 }
 
 // ------------------------------------------------------------- hub batching

@@ -23,6 +23,16 @@
 //   --source NAME       source-name prefix (default "mrt")
 //   --batch N           observations per appended batch (default 4096)
 //   --stats-json        print the full per-source stats JSON on stdout
+//   --detect CONFIG     run live detection on the ingest stream: CONFIG
+//                       is an owned-prefix config JSON (README schema).
+//                       The detector taps exactly the journaled spans, so
+//                       in a clean run its alerts match a later journal
+//                       replay. Alert lines go to stderr ("alert: ...").
+//   --detect-shards N   detection shard count (default 1), with --detect
+//   --detect-threaded   one worker thread per shard (batch-granular ring
+//                       handoff); the ingest thread is the sole producer
+//   --wait-policy P     busy_poll | futex, with --detect-threaded
+//   --pin               pin shard workers to CPUs, with --detect-threaded
 //
 // Exit status: 0 every URL ingested clean, 3 partial (some URL failed or
 // tore mid-archive; everything recovered IS in the journal), 1 hard error
@@ -30,10 +40,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "artemis/config.hpp"
 #include "ingest/supervisor.hpp"
+#include "pipeline/sharded_detector.hpp"
 
 namespace {
 
@@ -43,7 +58,9 @@ namespace {
                "usage: artemis_ingest --journal DIR [--fsync POLICY] [--retries N] "
                "[--backoff-ms N] [--max-backoff-ms N] [--timeout-ms N] "
                "[--max-lag N] [--policy flush|drop] [--seed N] [--source NAME] "
-               "[--batch N] [--stats-json] <url...>\n");
+               "[--batch N] [--stats-json] [--detect CONFIG.json "
+               "[--detect-shards N] [--detect-threaded "
+               "[--wait-policy busy_poll|futex] [--pin]]] <url...>\n");
   std::exit(2);
 }
 
@@ -66,6 +83,10 @@ int main(int argc, char** argv) {
   ingest::SupervisorOptions options;
   std::vector<std::string> urls;
   bool stats_json = false;
+  std::string detect_config_path;
+  pipeline::ShardedDetectorOptions detect_options;
+  bool detect_subflags = false;   // any --detect-shards/--detect-threaded
+  bool threaded_subflags = false; // any --wait-policy/--pin
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -110,6 +131,25 @@ int main(int argc, char** argv) {
           parse_long("--batch", flag_value("--batch"), 1));
     } else if (arg == "--stats-json") {
       stats_json = true;
+    } else if (arg == "--detect") {
+      detect_config_path = flag_value("--detect");
+    } else if (arg == "--detect-shards") {
+      const long n = parse_long("--detect-shards", flag_value("--detect-shards"), 1);
+      if (n > 1024) usage_error("--detect-shards must be in [1, 1024]");
+      detect_options.shards = static_cast<std::size_t>(n);
+      detect_subflags = true;
+    } else if (arg == "--detect-threaded") {
+      detect_options.threaded = true;
+      detect_subflags = true;
+    } else if (arg == "--wait-policy") {
+      if (!pipeline::parse_wait_policy(flag_value("--wait-policy"),
+                                       detect_options.wait_policy)) {
+        usage_error("--wait-policy must be busy_poll or futex");
+      }
+      threaded_subflags = true;
+    } else if (arg == "--pin") {
+      detect_options.pin_workers = true;
+      threaded_subflags = true;
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error(("unknown option " + std::string(arg)).c_str());
     } else {
@@ -118,10 +158,55 @@ int main(int argc, char** argv) {
   }
   if (options.journal_dir.empty()) usage_error("--journal DIR is required");
   if (urls.empty()) usage_error("no URLs given");
+  // Reject silently-ignored combinations, same as the other CLIs.
+  if (detect_config_path.empty() && detect_subflags) {
+    usage_error("--detect-shards/--detect-threaded require --detect");
+  }
+  if (threaded_subflags && !detect_options.threaded) {
+    usage_error("--wait-policy/--pin require --detect-threaded");
+  }
 
   try {
+    // Live detection tap: built before the supervisor so the pipeline
+    // options carry the bound handler. The ingest thread is the single
+    // producer the threaded detector requires.
+    std::unique_ptr<core::Config> detect_config;
+    std::unique_ptr<pipeline::ShardedDetector> detector;
+    if (!detect_config_path.empty()) {
+      std::ifstream in(detect_config_path);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", detect_config_path.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      detect_config =
+          std::make_unique<core::Config>(core::Config::from_json_text(buffer.str()));
+      detector =
+          std::make_unique<pipeline::ShardedDetector>(*detect_config, detect_options);
+      options.pipeline.detection_tap =
+          [d = detector.get()](std::span<const feeds::Observation> batch) {
+            d->submit_batch(batch);
+          };
+    }
+
     ingest::IngestSupervisor supervisor(options, urls);
     const ingest::IngestReport report = supervisor.run();
+    if (detector) {
+      detector->flush();
+      const auto alerts = detector->merged_alerts();
+      for (const auto& alert : alerts) {
+        std::fprintf(stderr, "alert: %s\n", alert.to_string().c_str());
+      }
+      std::fprintf(stderr,
+                   "detection: %llu observations, %zu merged alerts "
+                   "(%zu shards, %s, %s)\n",
+                   static_cast<unsigned long long>(
+                       detector->observations_processed()),
+                   alerts.size(), detector->shard_count(),
+                   detect_options.threaded ? "threaded" : "inline",
+                   std::string(to_string(detect_options.wait_policy)).c_str());
+    }
     for (const auto& sr : report.sources) {
       if (sr.state == ingest::SourceState::kFailed) {
         std::fprintf(stderr, "warning: %s failed: %s\n", sr.url.c_str(),

@@ -17,6 +17,12 @@
 //                   (repeatable; at least one required)
 //   --shards N      detection shard count (default 1). Output is
 //                   bit-identical for every N — that is the point.
+//   --threaded      one worker thread per shard (batch-granular ring
+//                   handoff) instead of inline dispatch. Output is still
+//                   bit-identical — the CI gate replays a threaded leg
+//                   against the same golden file.
+//   --wait-policy P busy_poll (default) or futex, with --threaded
+//   --pin           pin shard workers to consecutive CPUs, with --threaded
 //
 // Output: one canonical HijackAlert::to_string() line per merged alert
 // (sorted by detected_at, type, prefix, offender), then nothing else on
@@ -40,7 +46,8 @@ namespace {
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
                "usage: journal_alerts --journal DIR --owned PREFIX=ASN[,ASN...] "
-               "[--owned ...] [--shards N]\n");
+               "[--owned ...] [--shards N] [--threaded "
+               "[--wait-policy busy_poll|futex] [--pin]]\n");
   std::exit(2);
 }
 
@@ -85,6 +92,10 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   core::Config config;
   std::size_t shards = 1;
+  bool threaded = false;
+  bool pin = false;
+  pipeline::WaitPolicy wait_policy = pipeline::WaitPolicy::kBusyPoll;
+  bool wait_policy_given = false;
   bool any_owned = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -106,16 +117,31 @@ int main(int argc, char** argv) {
         usage_error("--shards must be an integer in [1, 1024]");
       }
       shards = static_cast<std::size_t>(n);
+    } else if (arg == "--threaded") {
+      threaded = true;
+    } else if (arg == "--wait-policy") {
+      if (!pipeline::parse_wait_policy(flag_value("--wait-policy"), wait_policy)) {
+        usage_error("--wait-policy must be busy_poll or futex");
+      }
+      wait_policy_given = true;
+    } else if (arg == "--pin") {
+      pin = true;
     } else {
       usage_error(("unknown argument " + std::string(arg)).c_str());
     }
   }
   if (journal_dir.empty()) usage_error("--journal DIR is required");
   if (!any_owned) usage_error("at least one --owned PREFIX=ASN is required");
+  if ((wait_policy_given || pin) && !threaded) {
+    usage_error("--wait-policy/--pin require --threaded");
+  }
 
   try {
     pipeline::ShardedDetectorOptions options;
     options.shards = shards;
+    options.threaded = threaded;
+    options.wait_policy = wait_policy;
+    options.pin_workers = pin;
     pipeline::ShardedDetector detector(config, options);
     feeds::MonitorHub hub;
     detector.attach(hub);
@@ -127,6 +153,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: journal has a truncated tail record\n");
     }
 
+    // Threaded: barrier before reading merged state.
+    detector.flush();
     const auto alerts = detector.merged_alerts();
     for (const auto& alert : alerts) {
       std::printf("%s\n", alert.to_string().c_str());

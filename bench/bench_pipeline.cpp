@@ -26,6 +26,7 @@
 #include "pipeline/batch_ring.hpp"
 #include "pipeline/sharded_detector.hpp"
 #include "rpki/roa.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 using namespace artemis;
@@ -122,6 +123,35 @@ void BM_DetectionBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch_size));
 }
 BENCHMARK(BM_DetectionBatch)->Arg(64)->Arg(256)->Arg(1024);
+
+/// The telemetry cost gate (ISSUE 8): BM_BatchPath's exact hub->detection
+/// workload at B=1024, with metrics:0 = bare and metrics:1 = a registry
+/// wired into the detection service (counters + the detection-delay
+/// histogram fed from batch-local tallies). The acceptance bar: the
+/// metrics:1 leg stays within 5% of metrics:0 items/s — roughly one
+/// relaxed store per counter per batch, nothing per observation.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const core::Config config = make_config();
+  core::DetectionService detector(config);
+  telemetry::MetricsRegistry registry;
+  if (state.range(0) != 0) {
+    detector.set_metrics(telemetry::register_detection(registry));
+  }
+  feeds::MonitorHub hub;
+  if (state.range(0) != 0) hub.set_metrics(&registry);
+  detector.attach(hub);
+  const auto& stream = workload();
+  constexpr std::size_t kBatch = 1024;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(kBatch, stream.size() - i);
+    hub.publish_batch({stream.data() + i, n});
+    i += n;
+    if (i >= stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_MetricsOverhead)->ArgNames({"metrics"})->Arg(0)->Arg(1);
 
 void BM_ShardedInline(benchmark::State& state) {
   const core::Config config = make_config();

@@ -26,6 +26,14 @@
 //                   by --journal DIR, then exit. Pair with a later
 //                   --replay run to push an archived window through
 //                   detection. (tools/mrt2journal exposes more knobs.)
+//   --metrics-port N
+//                   serve Prometheus /metrics and /healthz on
+//                   127.0.0.1:N for the duration of the run (0 picks an
+//                   ephemeral port, announced on stderr)
+//
+//   Live and replay runs both print detection-delay percentiles
+//   (p50/p95/p99/max over observation timestamp -> alert emission, on
+//   the sim clock) to stderr, and replay results carry them in the JSON.
 //
 //   Without a scenario argument a built-in demonstration scenario runs:
 //   a /24 victim defended by three outsourced helpers under a Type-1
@@ -35,11 +43,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "artemis/scenario.hpp"
 #include "mrt/observation_convert.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace artemis;
 
@@ -64,10 +75,26 @@ constexpr std::string_view kDefaultScenario = R"({
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
                "usage: scenario_runner [scenario.json] [--journal DIR] "
+               "[--metrics-port N] "
                "[--replay DIR [--warp N] [--shards N] [--threaded "
                "[--wait-policy busy_poll|futex] [--pin]]] | "
                "--import-mrt <file.mrt...> --journal DIR\n");
   std::exit(2);
+}
+
+/// The paper's headline numbers, from the merged detection-delay
+/// histogram (empty when no alert fired).
+void print_detection_delay(const telemetry::MetricsRegistry& registry) {
+  const auto delay =
+      registry.histogram_snapshot("artemis_detection_delay_seconds");
+  if (delay.total == 0) return;
+  std::fprintf(stderr,
+               "detection delay: p50 %.3fs p95 %.3fs p99 %.3fs max %.3fs "
+               "(%llu alerts)\n",
+               delay.quantile(0.50) * 1e-6, delay.quantile(0.95) * 1e-6,
+               delay.quantile(0.99) * 1e-6,
+               static_cast<double>(delay.max) * 1e-6,
+               static_cast<unsigned long long>(delay.total));
 }
 
 }  // namespace
@@ -80,6 +107,7 @@ int main(int argc, char** argv) {
   bool scenario_given = false;
   bool import_mrt = false;
   std::vector<std::string> mrt_files;
+  long metrics_port = -1;  // -1 = no HTTP server
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -120,6 +148,14 @@ int main(int argc, char** argv) {
       replay_options.wait_policy = policy;
     } else if (arg == "--pin") {
       replay_options.pin = true;
+    } else if (arg == "--metrics-port") {
+      const char* text = flag_value("--metrics-port");
+      char* rest = nullptr;
+      metrics_port = std::strtol(text, &rest, 10);
+      if (rest == text || *rest != '\0' || metrics_port < 0 ||
+          metrics_port > 65535) {
+        usage_error("--metrics-port must be an integer in [0, 65535]");
+      }
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error(("unknown option " + std::string(arg)).c_str());
     } else if (import_mrt) {
@@ -190,19 +226,36 @@ int main(int argc, char** argv) {
                  scenario.graph.as_count(), scenario.experiment.victim,
                  scenario.experiment.attacker);
 
+    // Telemetry is always on here (the registry is cheap and the delay
+    // percentiles ride on it); the HTTP server only with --metrics-port.
+    telemetry::MetricsRegistry registry;
+    std::unique_ptr<telemetry::MetricsServer> metrics_server;
+    if (metrics_port >= 0) {
+      telemetry::MetricsServerOptions server_options;
+      server_options.port = static_cast<int>(metrics_port);
+      metrics_server =
+          std::make_unique<telemetry::MetricsServer>(registry, server_options);
+      std::fprintf(stderr, "metrics: listening on http://127.0.0.1:%d/metrics\n",
+                   metrics_server->port());
+    }
+
     if (!replay_dir.empty()) {
       // Replay mode: the recorded stream, not the simulator, drives the
       // fresh app. Output must match the recording run for any shard
       // count or warp factor.
+      replay_options.metrics = &registry;
       const auto replayed =
           core::replay_scenario_journal(scenario, replay_dir, replay_options);
+      print_detection_delay(registry);
       std::printf("%s\n", replayed.dump(2).c_str());
       return 0;
     }
 
     if (!journal_dir.empty()) scenario.experiment.app.journal_dir = journal_dir;
+    scenario.experiment.app.metrics = &registry;
     const auto result = scenario.run();
     std::fprintf(stderr, "%s\n", result.summary().c_str());
+    print_detection_delay(registry);
     if (!scenario.experiment.app.journal_dir.empty()) {
       std::fprintf(stderr, "journal recorded to %s\n",
                    scenario.experiment.app.journal_dir.c_str());

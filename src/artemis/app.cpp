@@ -20,7 +20,9 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
   detector_options.wait_policy = options.detection_wait_policy;
   detector_options.pin_workers = options.detection_pin;
   detector_options.detection = options.detection;
+  detector_options.metrics = options.metrics;
   detector_ = std::make_unique<pipeline::ShardedDetector>(config_, detector_options);
+  hub_.set_metrics(options.metrics);
   mitigation_ =
       std::make_unique<MitigationService>(config_, *controller_, network.simulator());
   monitoring_ = std::make_unique<MonitoringService>(config_);
@@ -30,6 +32,9 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
     // complete even if a downstream alert handler throws mid-batch.
     journal_ =
         std::make_unique<journal::JournalWriter>(options.journal_dir, options.journal);
+    if (options.metrics != nullptr) {
+      journal_->set_metrics(telemetry::register_journal(*options.metrics));
+    }
     journal_->attach(hub_);
   }
   detector_->attach(hub_);

@@ -25,6 +25,7 @@
 #include "journal/writer.hpp"
 #include "pipeline/sharded_detector.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::core {
 
@@ -50,6 +51,12 @@ struct AppOptions {
   /// into a fresh app reproduces the detection state bit-identically.
   std::string journal_dir;
   journal::JournalWriterOptions journal;
+  /// When set, the app wires telemetry through every stage it owns: the
+  /// hub (per-source counters), the journal tap, and the sharded
+  /// detector (per-shard cells, detection-delay histogram). Observation-
+  /// only — alerts are bit-identical with or without it. Must outlive
+  /// the app.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class ArtemisApp {

@@ -172,10 +172,21 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
   // memo, so the memo only ever caches keys that went through classify().
   const bool prescreened = prescreen(batch);
 
+  // Telemetry tallies stay batch-local; the shared cells absorb one
+  // relaxed add each at the end. The delay histogram is the exception
+  // (fresh alerts are rare), recorded inline per alert.
+  std::uint64_t tally_skipped = 0;
+  std::uint64_t tally_memo_hits = 0;
+  std::uint64_t tally_dedup_hits = 0;
+  std::uint64_t tally_alerts = 0;
+
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const feeds::Observation& obs = batch[i];
     ++processed_;
-    if (prescreened && scr_rel_[i] == 0) continue;
+    if (prescreened && scr_rel_[i] == 0) {
+      ++tally_skipped;
+      continue;
+    }
     const bgp::Asn origin = obs.origin_as();
     const bgp::Asn neighbor = obs.attrs.as_path.origin_neighbor();
     if (!memo.valid || memo.type != obs.type || memo.prefix != obs.prefix ||
@@ -186,6 +197,8 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
       memo.prefix = obs.prefix;
       memo.origin = origin;
       memo.neighbor = neighbor;
+    } else {
+      ++tally_memo_hits;
     }
     if (!memo.result) continue;
     const Classification& classified = *memo.result;
@@ -207,7 +220,20 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
     }
     ++record->observations;
     record->first_seen_by_source.try_emplace(obs.source, obs.delivered_at);
-    if (!fresh) continue;
+    if (!fresh) {
+      ++tally_dedup_hits;
+      continue;
+    }
+    ++tally_alerts;
+    if (metrics_.detection_delay != nullptr) {
+      // Observation event time -> alert emission. delivered_at carries
+      // the sim clock in simulation and the wall clock live, so the
+      // histogram follows the mode for free.
+      const std::int64_t delay_us =
+          (obs.delivered_at - obs.event_time).as_micros();
+      metrics_.detection_delay->record(
+          delay_us > 0 ? static_cast<std::uint64_t>(delay_us) : 0u);
+    }
 
     // First observation of this hijack: materialize the full alert.
     HijackAlert alert;
@@ -223,6 +249,14 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
     record->dedup = alert.dedup_key();
     alerts_.push_back(alert);
     for (const auto& handler : handlers_) handler(alert);
+  }
+
+  if (metrics_.enabled()) {
+    metrics_.observations->add(batch.size());
+    if (tally_skipped != 0) metrics_.prescreen_skipped->add(tally_skipped);
+    if (tally_memo_hits != 0) metrics_.memo_hits->add(tally_memo_hits);
+    if (tally_dedup_hits != 0) metrics_.dedup_hits->add(tally_dedup_hits);
+    if (tally_alerts != 0) metrics_.alerts->add(tally_alerts);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "feeds/monitor_hub.hpp"
 #include "rpki/roa.hpp"
 #include "feeds/observation.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::core {
 
@@ -88,6 +89,16 @@ class DetectionService {
   std::uint64_t observations_processed() const { return processed_; }
   std::uint64_t observations_matched() const { return matched_; }
 
+  /// Attaches telemetry cells (one bundle per service — sharded callers
+  /// register one per shard so cells never contend). Observation-only:
+  /// counters and the detection-delay histogram are fed from batch-local
+  /// tallies after the processing loop, so enabling telemetry cannot
+  /// perturb alert content or ordering, and the hot path stays
+  /// allocation-free (cells are pre-registered plain atomics).
+  void set_metrics(const telemetry::DetectionCounters& metrics) {
+    metrics_ = metrics;
+  }
+
  private:
   /// A classified violation, POD so the steady-state path never builds a
   /// full HijackAlert (whose path/source members heap-allocate).
@@ -123,6 +134,7 @@ class DetectionService {
   std::unordered_map<AlertKey, HijackRecord, AlertKeyHash> records_;
   std::uint64_t processed_ = 0;
   std::uint64_t matched_ = 0;
+  telemetry::DetectionCounters metrics_;  ///< null cells = disabled
 
   // Prescreen scratch (SoA over the current batch) and the owned-prefix
   // snapshot it compares against. Members, not locals: their capacity

@@ -171,6 +171,7 @@ json::Value replay_scenario_journal(const Scenario& scenario,
   // mitigation it triggers) has run its course.
   ExperimentParams params = scenario.experiment;
   params.app.journal_dir.clear();
+  params.app.metrics = options.metrics;
   if (options.detection_shards > 0) {
     params.app.detection_shards = options.detection_shards;
   }
@@ -241,6 +242,21 @@ json::Value replay_scenario_journal(const Scenario& scenario,
   out["observations_by_source"] = json::Value(std::move(per_source));
   out["mitigations"] =
       json::Value(static_cast<std::int64_t>(app.mitigation().records().size()));
+  if (options.metrics != nullptr) {
+    const auto delay =
+        options.metrics->histogram_snapshot("artemis_detection_delay_seconds");
+    if (delay.total > 0) {
+      // Replay clock = recorded sim clock, so these are the paper's
+      // detection-delay percentiles for the recorded run.
+      json::Object pct;
+      pct["count"] = json::Value(static_cast<std::int64_t>(delay.total));
+      pct["p50_s"] = json::Value(delay.quantile(0.50) * 1e-6);
+      pct["p95_s"] = json::Value(delay.quantile(0.95) * 1e-6);
+      pct["p99_s"] = json::Value(delay.quantile(0.99) * 1e-6);
+      pct["max_s"] = json::Value(static_cast<double>(delay.max) * 1e-6);
+      out["detection_delay_percentiles"] = json::Value(std::move(pct));
+    }
+  }
   return json::Value(std::move(out));
 }
 

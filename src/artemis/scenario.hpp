@@ -35,6 +35,7 @@
 #include "artemis/experiment.hpp"
 #include "json/json.hpp"
 #include "pipeline/wait_policy.hpp"
+#include "telemetry/metrics.hpp"
 #include "topology/generator.hpp"
 
 namespace artemis::core {
@@ -77,6 +78,11 @@ struct ReplayRunOptions {
   std::optional<bool> threaded;
   std::optional<pipeline::WaitPolicy> wait_policy;
   std::optional<bool> pin;
+  /// When set, the replay app registers telemetry in this registry and
+  /// the result JSON gains a "detection_delay_percentiles" object (from
+  /// the artemis_detection_delay_seconds histogram over the replayed
+  /// sim-clock stream). Observation-only; alerts are unchanged.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Replays a recorded observation journal through a fresh app built from

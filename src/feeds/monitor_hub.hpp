@@ -25,6 +25,7 @@
 
 #include "feeds/fanout.hpp"
 #include "feeds/observation.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::feeds {
 
@@ -63,6 +64,13 @@ class MonitorHub {
   /// Number of distinct sources seen so far.
   std::size_t source_table_size() const { return sources_.size(); }
 
+  /// Attaches a metrics registry: the hub registers one labeled
+  /// per-source counter per interned source (on interning, which already
+  /// allocates) plus stream totals. The registry must outlive the hub.
+  /// Steady-state publish_batch stays allocation-free — counter cells
+  /// are plain pre-registered atomics.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   /// Binary search over the sorted id index (string_view compares, no
   /// allocation); shared by intern() and source_count().
@@ -76,11 +84,19 @@ class MonitorHub {
   struct SourceSlot {
     std::string name;
     std::uint64_t count = 0;
+    telemetry::Counter* metric = nullptr;  ///< per-source labeled cell
   };
+
+  /// Registers the labeled telemetry cell for one slot (no-op without a
+  /// registry).
+  void register_source_metric(SourceSlot& slot);
   std::vector<SourceSlot> sources_;    ///< id -> slot, insertion order
   std::vector<std::uint32_t> by_name_; ///< ids sorted by slot name
   ObservationFanout fanout_;
   std::uint64_t total_ = 0;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Counter* observations_metric_ = nullptr;
+  telemetry::Counter* batches_metric_ = nullptr;
 };
 
 }  // namespace artemis::feeds

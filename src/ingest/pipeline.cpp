@@ -28,6 +28,10 @@ std::string_view to_string(LagPolicy policy) {
 IngestPipeline::IngestPipeline(journal::JournalWriter& writer,
                                PipelineOptions options)
     : writer_(writer), options_(options), converter_(options.convert) {
+  if (options_.metrics != nullptr) {
+    metrics_ = telemetry::register_ingest(*options_.metrics);
+    writer_.set_metrics(telemetry::register_journal(*options_.metrics));
+  }
   // Bind the two hot-path callbacks once; per-chunk work then goes
   // through pre-allocated std::functions instead of constructing them.
   batch_sink_ = [this](std::span<const feeds::Observation> batch) {
@@ -81,6 +85,10 @@ void IngestPipeline::feed(std::span<const std::uint8_t> chunk) {
 
 void IngestPipeline::on_batch(std::span<const feeds::Observation> batch) {
   if (batch.empty()) return;
+  // Ledger order matters for /healthz: bump `converted` before any
+  // outcome counter, so a concurrent scrape can only observe
+  // converted >= journaled + skipped + dropped (never the reverse).
+  if (metrics_.converted != nullptr) metrics_.converted->add(batch.size());
   // Resume shim: the leading `skip_remaining_` observations of this
   // re-converted stream are already durable from the pre-crash run.
   if (skip_remaining_ > 0) {
@@ -88,6 +96,7 @@ void IngestPipeline::on_batch(std::span<const feeds::Observation> batch) {
         std::min<std::uint64_t>(skip_remaining_, batch.size());
     skip_remaining_ -= skip;
     stats_.observations_skipped += skip;
+    if (metrics_.skipped != nullptr) metrics_.skipped->add(skip);
     batch = batch.subspan(static_cast<std::size_t>(skip));
     if (batch.empty()) return;
   }
@@ -96,6 +105,7 @@ void IngestPipeline::on_batch(std::span<const feeds::Observation> batch) {
     if (options_.lag_policy == LagPolicy::kDrop) {
       ++stats_.batches_dropped;
       stats_.observations_dropped += batch.size();
+      if (metrics_.dropped != nullptr) metrics_.dropped->add(batch.size());
       return;
     }
     writer_.flush();
@@ -103,6 +113,7 @@ void IngestPipeline::on_batch(std::span<const feeds::Observation> batch) {
   }
   writer_.append_batch(batch);
   stats_.observations_journaled += batch.size();
+  if (metrics_.journaled != nullptr) metrics_.journaled->add(batch.size());
   // Tap AFTER the append succeeds, with the identical span: the live
   // detector only ever sees observations the journal holds, keeping
   // "replay the journal" a faithful re-run of what detection saw.
@@ -129,6 +140,10 @@ SourceFeedStats IngestPipeline::finish_source() {
   // message stays in stream_error, mirroring its transport_error).
   if (stats_.stream_truncated && stats_.convert.error.empty()) {
     stats_.convert.truncated = true;
+  }
+  if (metrics_.enabled()) {
+    metrics_.convert_records->add(stats_.convert.records);
+    metrics_.convert_skips->add(stats_.convert.skipped_records);
   }
   active_ = nullptr;
   return stats_;

@@ -35,6 +35,7 @@
 #include "journal/writer.hpp"
 #include "mrt/observation_convert.hpp"
 #include "mrt/stream_reader.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::ingest {
 
@@ -60,6 +61,15 @@ struct PipelineOptions {
   /// alerts the replay path does. Called on the ingest thread; a threaded
   /// detector's submit_batch is its single producer.
   feeds::ObservationBatchHandler detection_tap;
+  /// When set, the pipeline registers the ingest counter bundle and
+  /// feeds the live ledger (converted/journaled/skipped/dropped, plus
+  /// converter record counts at finish_source). Counter ordering is the
+  /// /healthz contract: `converted` is bumped BEFORE the outcome
+  /// counters, so a concurrent reader sees converted >= journaled +
+  /// skipped + dropped (the difference is in flight) and a true ledger
+  /// violation only as journaled+skipped+dropped > converted. Must
+  /// outlive the pipeline.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-source ledger, reset by begin_source(). The "no silent loss"
@@ -107,6 +117,10 @@ class IngestPipeline {
   mrt::ObservationConverter& converter() { return converter_; }
   journal::JournalWriter& writer() { return writer_; }
 
+  /// The registered counter bundle (cells null when options.metrics was
+  /// null). The supervisor shares it for fetch/cursor accounting.
+  const telemetry::IngestCounters& metrics() const { return metrics_; }
+
  private:
   void on_batch(std::span<const feeds::Observation> batch);
   mrt::ChunkDecompressor* decompressor_for(mrt::Compression compression);
@@ -126,6 +140,7 @@ class IngestPipeline {
   std::size_t head_len_ = 0;
   std::uint64_t skip_remaining_ = 0;
   SourceFeedStats stats_;
+  telemetry::IngestCounters metrics_;  ///< null cells = disabled
 };
 
 }  // namespace artemis::ingest

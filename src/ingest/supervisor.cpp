@@ -87,10 +87,32 @@ IngestSupervisor::IngestSupervisor(SupervisorOptions options,
       writer_(options_.journal_dir, options_.journal),
       pipeline_(writer_, options_.pipeline) {
   if (!options_.sleep) options_.sleep = sleep_ms;
+  // Count backoff waits at the one choke point every retry path shares.
+  // Wrapping happens once here — the per-wait cost is two relaxed adds.
+  if (pipeline_.metrics().enabled()) {
+    const telemetry::IngestCounters& metrics = pipeline_.metrics();
+    FetchSource::SleepFn inner = std::move(options_.sleep);
+    options_.sleep = [inner = std::move(inner), &metrics](std::int64_t ms) {
+      metrics.backoff_waits->add();
+      if (ms > 0) metrics.backoff_ms->add(static_cast<std::uint64_t>(ms));
+      inner(ms);
+    };
+  }
+}
+
+IngestReport IngestSupervisor::partial_report() const {
+  IngestReport report = report_;
+  report.records_journaled = writer_.records_written();
+  report.journal_next_seq = writer_.next_sequence();
+  report.journal_segments = writer_.segments_opened();
+  report.journal_bytes = writer_.bytes_written();
+  report.fsyncs = writer_.fsyncs();
+  return report;
 }
 
 IngestReport IngestSupervisor::run() {
-  IngestReport report;
+  report_ = IngestReport{};
+  IngestReport& report = report_;
 
   // Where did the previous incarnation die? The cursor names the URL in
   // flight; the durable journal says how much of it survived.
@@ -133,6 +155,9 @@ IngestReport IngestSupervisor::run() {
       next.start_seq = writer_.next_sequence();
       next.start_clock_us = pipeline_.converter().clock_us();
       store_ingest_cursor(options_.journal_dir, next);
+      if (pipeline_.metrics().cursor_persists != nullptr) {
+        pipeline_.metrics().cursor_persists->add();
+      }
     }
 
     FetchSource source(url, options_.fetch, seed_rng.fork(url));
@@ -146,6 +171,10 @@ IngestReport IngestSupervisor::run() {
     sr.state = source.state();
     sr.outcome = outcome;
     sr.fetch = source.stats();
+    if (pipeline_.metrics().enabled()) {
+      pipeline_.metrics().bytes_fetched->add(sr.fetch.bytes_fetched);
+      pipeline_.metrics().fetch_retries->add(sr.fetch.retries);
+    }
     sr.feed = pipeline_.finish_source();
     sr.resumed = resumed;
     sr.resume_skipped = sr.feed.observations_skipped;

@@ -124,11 +124,25 @@ class IngestSupervisor {
   /// journal on completion.
   IngestReport run();
 
+  /// Snapshot of progress so far: the sources completed before the
+  /// current instant plus the journal's live counters. This is the
+  /// fatal-error stats path — safe to call after run() threw, so
+  /// --stats-json can still say what the run accomplished before dying.
+  IngestReport partial_report() const;
+
+  /// The pipeline's registered telemetry bundle (null cells when
+  /// options.pipeline.metrics was unset). The /healthz ledger check
+  /// reads the live converted/journaled/skipped/dropped cells from it.
+  const telemetry::IngestCounters& metrics() const {
+    return pipeline_.metrics();
+  }
+
  private:
   SupervisorOptions options_;
   std::vector<std::string> urls_;
   journal::JournalWriter writer_;
   IngestPipeline pipeline_;
+  IngestReport report_;  ///< built incrementally so partial_report() works
 };
 
 }  // namespace artemis::ingest

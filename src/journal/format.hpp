@@ -59,6 +59,18 @@ inline constexpr std::size_t kSegmentHeaderSize = 32;
 inline constexpr std::string_view kSegmentPrefix = "seg-";
 inline constexpr std::string_view kSegmentSuffix = ".aj";
 
+/// Batch-framing sidecar: an append-only file of varint batch sizes, one
+/// per append_batch call, after an 8-byte magic. Deliberately NOT a
+/// segment name, so is_segment_file_name() keeps it invisible to the
+/// reader, the resume scan and sequence accounting — it is advisory
+/// metadata that lets replay reproduce the recorded batch boundaries
+/// (and with them exact per-source/per-batch stats). Crash rules mirror
+/// the journal's: a torn trailing varint is a clean end; framing may
+/// over- or under-cover the record stream after a crash, and replay
+/// clamps or falls back accordingly.
+inline constexpr std::string_view kFramesFileName = "batch-frames.ajf";
+inline constexpr std::string_view kFramesMagic = "AJFRAME1";
+
 inline bool is_segment_file_name(std::string_view name) {
   if (name.size() != kSegmentPrefix.size() + 16 + kSegmentSuffix.size() ||
       !name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix)) {

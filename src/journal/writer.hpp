@@ -23,6 +23,7 @@
 #include "feeds/monitor_hub.hpp"
 #include "feeds/observation.hpp"
 #include "journal/codec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::journal {
 
@@ -118,6 +119,16 @@ class JournalWriter {
   /// fsync(2) calls issued so far (policy-driven plus explicit sync()).
   std::uint64_t fsyncs() const { return fsyncs_; }
 
+  /// Batches appended so far (== lines in the framing sidecar).
+  std::uint64_t batches_written() const { return batches_; }
+
+  /// Attaches telemetry cells (register via telemetry::register_journal).
+  /// Observation-only relaxed stores; the tap's zero-allocation steady
+  /// state is unchanged (alloc-test enforced).
+  void set_metrics(const telemetry::JournalCounters& metrics) {
+    metrics_ = metrics;
+  }
+
  private:
   /// Continues an existing journal in `dir_`: computes the resume
   /// sequence from the last segment and truncates its torn tail, if any.
@@ -125,6 +136,8 @@ class JournalWriter {
   void open_segment();
   void write_buffer();
   void do_fsync();
+  void open_frames_file();
+  void write_frames_buffer();
 
   std::string dir_;
   JournalWriterOptions options_;
@@ -142,6 +155,14 @@ class JournalWriter {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t fsyncs_ = 0;
   std::int64_t last_fsync_ms_ = 0;  ///< steady-clock ms of the last fsync
+  std::uint64_t batches_ = 0;
+  // Batch-framing sidecar (format.hpp kFramesFileName): one varint batch
+  // size per append_batch, buffered here and flushed on the same cadence
+  // as the record buffer. O_APPEND, so resume just continues the file.
+  int frames_fd_ = -1;
+  std::vector<std::uint8_t> frames_buffer_;
+  std::size_t frames_consumed_ = 0;  ///< frames_buffer_ prefix written out
+  telemetry::JournalCounters metrics_;  ///< null cells = disabled
   bool closed_ = false;
 };
 

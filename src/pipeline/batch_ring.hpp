@@ -45,6 +45,7 @@
 #include "pipeline/observation_batch.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "pipeline/wait_policy.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artemis::pipeline {
 
@@ -78,6 +79,13 @@ class BatchRing {
   std::size_t batch_capacity() const { return batch_capacity_; }
   WaitPolicy policy() const { return policy_; }
 
+  /// Attaches telemetry cells (call before the worker starts). Each
+  /// counter touch is one relaxed add on a pre-registered atomic, so
+  /// instrumentation changes neither ordering nor allocation behavior.
+  void set_metrics(const telemetry::RingCounters& metrics) {
+    metrics_ = metrics;
+  }
+
   // ---- producer side -----------------------------------------------------
 
   /// Grabs a recycled slot, or nullptr when every slot is in flight.
@@ -92,6 +100,9 @@ class BatchRing {
     int spins = 0;
     for (;;) {
       if (ObservationBatch* batch = try_acquire()) return batch;
+      if (spins == 0 && metrics_.producer_waits != nullptr) {
+        metrics_.producer_waits->add();  // once per acquire that waited
+      }
       if (++spins < 64) {
         cpu_pause();
       } else if (policy_ == WaitPolicy::kBusyPoll) {
@@ -113,9 +124,15 @@ class BatchRing {
     const bool pushed = filled_.try_push(batch);
     assert(pushed);
     (void)pushed;
+    if (metrics_.publishes != nullptr) {
+      metrics_.publishes->add();
+      metrics_.occupancy_high->update_max(
+          static_cast<std::int64_t>(filled_.size()));
+    }
     if (policy_ == WaitPolicy::kFutex) {
       consumer_events_.fetch_add(1, std::memory_order_release);
       consumer_events_.notify_all();
+      if (metrics_.futex_wakeups != nullptr) metrics_.futex_wakeups->add();
     }
   }
 
@@ -171,6 +188,7 @@ class BatchRing {
     if (policy_ == WaitPolicy::kFutex) {
       producer_events_.fetch_add(1, std::memory_order_release);
       producer_events_.notify_all();
+      if (metrics_.futex_wakeups != nullptr) metrics_.futex_wakeups->add();
     }
   }
 
@@ -201,6 +219,7 @@ class BatchRing {
   /// before the event returns immediately — no lost wake-ups.
   alignas(64) std::atomic<std::uint64_t> consumer_events_{0};
   alignas(64) std::atomic<std::uint64_t> producer_events_{0};
+  telemetry::RingCounters metrics_;  ///< null cells = disabled
 };
 
 }  // namespace artemis::pipeline

@@ -33,6 +33,19 @@ ShardedDetector::ShardedDetector(const core::Config& config,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config, options_));
   }
+  if (options_.metrics != nullptr) {
+    // One cell bundle per shard: private cache lines on the hot path,
+    // merged on read by the registry — the same shape as the detector's
+    // own merged-on-read stats. Registered before workers start, so the
+    // cells are immutable wiring by the time any thread runs.
+    metrics_ = telemetry::register_pipeline(*options_.metrics);
+    for (auto& shard : shards_) {
+      shard->service.set_metrics(telemetry::register_detection(*options_.metrics));
+      if (shard->ring != nullptr) {
+        shard->ring->set_metrics(telemetry::register_ring(*options_.metrics));
+      }
+    }
+  }
   if (options_.threaded) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard* s = shards_[i].get();
@@ -167,6 +180,7 @@ void ShardedDetector::flush() {
         "ShardedDetector::flush: must be called from the producer thread");
   }
   publish_staged();
+  bool stalled = false;
   for (auto& shard : shards_) {
     // Escalating wait: pause (the worker is usually a few hundred ns
     // away), yield (give a same-core worker the CPU), then sleep — a
@@ -174,6 +188,7 @@ void ShardedDetector::flush() {
     // flusher a core.
     int spins = 0;
     while (shard->drained.load(std::memory_order_acquire) < shard->pushed) {
+      stalled = true;
       ++spins;
       if (spins < 64) {
         cpu_pause();
@@ -184,6 +199,7 @@ void ShardedDetector::flush() {
       }
     }
   }
+  if (stalled && metrics_.flush_stalls != nullptr) metrics_.flush_stalls->add();
 }
 
 void ShardedDetector::stop() {

@@ -77,6 +77,12 @@ struct ShardedDetectorOptions {
   bool pin_workers = false;
   unsigned pin_cpu_base = 0;
   core::DetectionOptions detection;
+  /// When set, every shard registers its own telemetry cell bundle
+  /// (per-shard cache lines, merged on read by the registry) and the
+  /// rings/flush path count handoff events. Observation-only: the
+  /// pipeline_test matrix proves merged_alerts() is bit-identical with
+  /// and without a registry. Must outlive the detector.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class ShardedDetector {
@@ -169,6 +175,7 @@ class ShardedDetector {
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
   std::atomic<std::thread::id> producer_thread_{};  ///< set on first submit
+  telemetry::PipelineCounters metrics_;  ///< producer-side; null = disabled
 };
 
 }  // namespace artemis::pipeline

@@ -22,6 +22,7 @@
 #include "journal/writer.hpp"
 #include "mrt/observation_convert.hpp"
 #include "pipeline/sharded_detector.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -425,6 +426,92 @@ TEST(DetectionAllocTest, SteadyStateThreadedBatchRingIsAllocationFree) {
     const std::size_t after = g_allocations.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u)
         << "steady-state threaded batch-ring handoff allocated (policy="
+        << std::string(pipeline::to_string(policy)) << ")";
+    detector.stop();
+    EXPECT_EQ(detector.observations_processed(), 24u * 1008u);
+  }
+}
+
+TEST(DetectionAllocTest, InstrumentedProcessBatchIsAllocationFree) {
+  // ISSUE 8's zero-allocation telemetry claim, asserted: with a registry
+  // wired in (cells registered at startup), the steady-state batch path
+  // — counter stores plus the detection-delay histogram machinery —
+  // still performs zero heap allocations.
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+
+  telemetry::MetricsRegistry registry;  // registration may allocate: fine
+  detector.set_metrics(telemetry::register_detection(registry));
+
+  std::vector<feeds::Observation> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  }
+  batch.push_back(make_obs("10.0.1.0/24", {9, 666}, "ris-live", 101));
+  batch.push_back(make_obs("10.0.0.0/23", {9, 100, 65001}, "ris-live", 102));
+  batch.push_back(make_obs("203.0.113.0/24", {9, 666}, "ris-live", 103));
+
+  detector.process_batch(batch);  // prime (first alerts record delays)
+  ASSERT_EQ(detector.alerts().size(), 2u);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) detector.process_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state instrumented process_batch allocated";
+
+  // The cells kept counting while staying allocation-free.
+  const auto snap =
+      registry.histogram_snapshot("artemis_detection_delay_seconds");
+  EXPECT_EQ(snap.total, 2u);  // one delay sample per (primed) alert
+  EXPECT_NE(registry.render_prometheus().find(
+                "artemis_detection_observations_total " +
+                std::to_string(7u * 10001u)),
+            std::string::npos);
+}
+
+TEST(DetectionAllocTest, InstrumentedThreadedBatchRingIsAllocationFree) {
+  // Same claim across the threaded handoff: per-shard cell bundles and
+  // ring counters (publishes, wakeups, occupancy high-water) ride the
+  // steady state without touching the allocator, under both policies.
+  for (const auto policy :
+       {pipeline::WaitPolicy::kBusyPoll, pipeline::WaitPolicy::kFutex}) {
+    Config config;
+    OwnedPrefix owned;
+    owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+    owned.legitimate_origins.insert(65001);
+    config.add_owned(std::move(owned));
+    telemetry::MetricsRegistry registry;
+    pipeline::ShardedDetectorOptions options;
+    options.shards = 2;
+    options.threaded = true;
+    options.wait_policy = policy;
+    options.queue_capacity = 64;
+    options.drain_batch = 16;
+    options.metrics = &registry;
+    pipeline::ShardedDetector detector(config, options);
+
+    std::vector<feeds::Observation> batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100 + i));
+      batch.push_back(make_obs("10.0.1.0/24", {9, 666}, "ris-live", 100 + i));
+      batch.push_back(make_obs("203.0.113.0/24", {9, 666}, "bgpmon", 100 + i));
+    }
+    for (int i = 0; i < 8; ++i) detector.submit_batch(batch);
+    detector.flush();
+
+    const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+      detector.submit_batch(batch);
+      detector.flush();
+    }
+    const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state instrumented threaded handoff allocated (policy="
         << std::string(pipeline::to_string(policy)) << ")";
     detector.stop();
     EXPECT_EQ(detector.observations_processed(), 24u * 1008u);

@@ -164,10 +164,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
 
 // --------------------------------------------------- writer/reader I/O
 
-/// Path of the single (or first) segment in `dir`.
+/// Path of the single (or first) segment in `dir` (the framing sidecar
+/// and other non-segment files are skipped).
 std::string first_segment(const std::string& dir) {
   std::vector<std::string> segments;
   for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!is_segment_file_name(entry.path().filename().string())) continue;
     segments.push_back(entry.path().string());
   }
   std::sort(segments.begin(), segments.end());
@@ -561,6 +563,7 @@ TEST(JournalCorruptionTest, SequenceGapIsAnError) {
   // Remove a middle segment: the reader must refuse, not skip history.
   std::vector<std::string> segments;
   for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!is_segment_file_name(entry.path().filename().string())) continue;
     segments.push_back(entry.path().string());
   }
   std::sort(segments.begin(), segments.end());

@@ -17,6 +17,7 @@
 #include "pipeline/sharded_detector.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "rpki/roa.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace artemis::pipeline {
@@ -485,6 +486,82 @@ TEST(ShardedDetectorTest, DeterminismMatrixAcrossModesPoliciesAndPinning) {
         threaded.stop();
         check(threaded);  // stop() must not lose or duplicate anything
       }
+    }
+  }
+}
+
+TEST(ShardedDetectorTest, MetricsDoNotPerturbDeterminismMatrix) {
+  // Telemetry is observation-only by contract: re-running the acceptance
+  // matrix with a registry wired in must reproduce the metrics-OFF N=1
+  // inline reference bit-for-bit — alerts, counts, first-seen — while
+  // the merged counters account for every observation and alert.
+  const Config config = make_config();
+  const auto stream = scenario_stream(13, 3000);
+
+  ShardedDetectorOptions ref_options;  // no registry: the plain baseline
+  ref_options.shards = 1;
+  ShardedDetector reference(config, ref_options);
+  reference.submit_batch(stream);
+  const auto ref_alerts = reference.merged_alerts();
+  ASSERT_GT(ref_alerts.size(), 0u);
+
+  auto check = [&](ShardedDetector& other,
+                   const telemetry::MetricsRegistry& registry) {
+    EXPECT_EQ(other.observations_processed(), reference.observations_processed());
+    const auto other_alerts = other.merged_alerts();
+    ASSERT_EQ(other_alerts.size(), ref_alerts.size());
+    for (std::size_t i = 0; i < ref_alerts.size(); ++i) {
+      expect_same_alert(other_alerts[i], ref_alerts[i]);
+    }
+    // The merged per-shard cells see the whole stream and every alert,
+    // and each alert recorded its detection delay.
+    const std::string text = registry.render_prometheus();
+    EXPECT_NE(text.find("artemis_detection_observations_total " +
+                        std::to_string(stream.size())),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("artemis_detection_alerts_total " +
+                        std::to_string(ref_alerts.size())),
+              std::string::npos)
+        << text;
+    const auto delay =
+        registry.histogram_snapshot("artemis_detection_delay_seconds");
+    EXPECT_EQ(delay.total, ref_alerts.size());
+  };
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    {
+      telemetry::MetricsRegistry registry;
+      ShardedDetectorOptions options;
+      options.shards = shards;
+      options.metrics = &registry;
+      ShardedDetector inline_run(config, options);
+      inline_run.submit_batch(stream);
+      check(inline_run, registry);
+    }
+    for (const WaitPolicy policy : {WaitPolicy::kBusyPoll, WaitPolicy::kFutex}) {
+      telemetry::MetricsRegistry registry;
+      ShardedDetectorOptions options;
+      options.shards = shards;
+      options.threaded = true;
+      options.wait_policy = policy;
+      options.metrics = &registry;
+      options.queue_capacity = 256;
+      options.drain_batch = 32;
+      ShardedDetector threaded(config, options);
+      std::size_t i = 0;
+      for (std::size_t chunk = 1; i < stream.size(); chunk = chunk % 97 + 13) {
+        const std::size_t n = std::min(chunk, stream.size() - i);
+        threaded.submit_batch({stream.data() + i, n});
+        i += n;
+      }
+      threaded.flush();
+      threaded.stop();
+      check(threaded, registry);
+      // The ring instrumentation saw real traffic in threaded mode.
+      const auto publishes =
+          registry.render_prometheus().find("artemis_ring_publishes_total 0\n");
+      EXPECT_EQ(publishes, std::string::npos);
     }
   }
 }

@@ -23,6 +23,18 @@
 //   --source NAME       source-name prefix (default "mrt")
 //   --batch N           observations per appended batch (default 4096)
 //   --stats-json        print the full per-source stats JSON on stdout
+//                       (including a telemetry snapshot); also printed on
+//                       fatal-error exits so post-mortem ledgers are
+//                       never empty
+//   --metrics-port N    serve Prometheus /metrics and /healthz on
+//                       127.0.0.1:N (0 = pick an ephemeral port; the
+//                       bound port is announced on stderr)
+//   --metrics-snapshot FILE
+//                       periodically write the telemetry snapshot JSON
+//                       to FILE (atomic tmp+rename), and once on exit
+//   --metrics-interval-ms N
+//                       snapshot cadence for --metrics-snapshot
+//                       (default 1000)
 //   --detect CONFIG     run live detection on the ingest stream: CONFIG
 //                       is an owned-prefix config JSON (README schema).
 //                       The detector taps exactly the journaled spans, so
@@ -49,8 +61,15 @@
 #include "artemis/config.hpp"
 #include "ingest/supervisor.hpp"
 #include "pipeline/sharded_detector.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
+
+// Set by a pre-parse argv scan so even a usage error (which fires
+// mid-parse) can honor --stats-json with a minimal machine-readable
+// post-mortem on stdout.
+bool g_stats_json_on_error = false;
 
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
@@ -58,9 +77,17 @@ namespace {
                "usage: artemis_ingest --journal DIR [--fsync POLICY] [--retries N] "
                "[--backoff-ms N] [--max-backoff-ms N] [--timeout-ms N] "
                "[--max-lag N] [--policy flush|drop] [--seed N] [--source NAME] "
-               "[--batch N] [--stats-json] [--detect CONFIG.json "
+               "[--batch N] [--stats-json] [--metrics-port N] "
+               "[--metrics-snapshot FILE [--metrics-interval-ms N]] "
+               "[--detect CONFIG.json "
                "[--detect-shards N] [--detect-threaded "
                "[--wait-policy busy_poll|futex] [--pin]]] <url...>\n");
+  if (g_stats_json_on_error) {
+    artemis::json::Object err;
+    err["error"] = artemis::json::Value(std::string(what));
+    err["usage_error"] = artemis::json::Value(true);
+    std::printf("%s\n", artemis::json::Value(std::move(err)).dump(2).c_str());
+  }
   std::exit(2);
 }
 
@@ -87,6 +114,13 @@ int main(int argc, char** argv) {
   pipeline::ShardedDetectorOptions detect_options;
   bool detect_subflags = false;   // any --detect-shards/--detect-threaded
   bool threaded_subflags = false; // any --wait-policy/--pin
+  long metrics_port = -1;         // -1 = no HTTP server
+  std::string metrics_snapshot;
+  long metrics_interval_ms = 1000;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--stats-json") g_stats_json_on_error = true;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -131,6 +165,14 @@ int main(int argc, char** argv) {
           parse_long("--batch", flag_value("--batch"), 1));
     } else if (arg == "--stats-json") {
       stats_json = true;
+    } else if (arg == "--metrics-port") {
+      metrics_port = parse_long("--metrics-port", flag_value("--metrics-port"), 0);
+      if (metrics_port > 65535) usage_error("--metrics-port must be in [0, 65535]");
+    } else if (arg == "--metrics-snapshot") {
+      metrics_snapshot = flag_value("--metrics-snapshot");
+    } else if (arg == "--metrics-interval-ms") {
+      metrics_interval_ms = parse_long("--metrics-interval-ms",
+                                       flag_value("--metrics-interval-ms"), 1);
     } else if (arg == "--detect") {
       detect_config_path = flag_value("--detect");
     } else if (arg == "--detect-shards") {
@@ -166,6 +208,18 @@ int main(int argc, char** argv) {
     usage_error("--wait-policy/--pin require --detect-threaded");
   }
 
+  // One registry for the whole process; every stage registers its cells
+  // into it before ingest starts. Enabled by any consumer of the data —
+  // the HTTP server, the periodic snapshot file, or the final stats blob.
+  telemetry::MetricsRegistry registry;
+  const bool telemetry_enabled =
+      metrics_port >= 0 || !metrics_snapshot.empty() || stats_json;
+  if (telemetry_enabled) {
+    options.pipeline.metrics = &registry;
+    detect_options.metrics = &registry;
+  }
+
+  std::unique_ptr<ingest::IngestSupervisor> supervisor;
   try {
     // Live detection tap: built before the supervisor so the pipeline
     // options carry the bound handler. The ingest thread is the single
@@ -190,8 +244,42 @@ int main(int argc, char** argv) {
           };
     }
 
-    ingest::IngestSupervisor supervisor(options, urls);
-    const ingest::IngestReport report = supervisor.run();
+    supervisor = std::make_unique<ingest::IngestSupervisor>(options, urls);
+
+    std::unique_ptr<telemetry::MetricsServer> metrics_server;
+    if (metrics_port >= 0 || !metrics_snapshot.empty()) {
+      telemetry::MetricsServerOptions server_options;
+      server_options.port = metrics_port >= 0 ? static_cast<int>(metrics_port) : 0;
+      server_options.snapshot_path = metrics_snapshot;
+      server_options.snapshot_interval_ms = static_cast<int>(metrics_interval_ms);
+      // /healthz = the no-silent-loss ledger, read live. `converted` is
+      // incremented before the outcome counters, so the only reachable
+      // failure is a genuine accounting violation.
+      const telemetry::IngestCounters& ledger = supervisor->metrics();
+      server_options.health = [&ledger]() {
+        telemetry::HealthStatus status;
+        if (!ledger.enabled()) return status;
+        const std::uint64_t converted = ledger.converted->value();
+        const std::uint64_t accounted = ledger.journaled->value() +
+                                        ledger.skipped->value() +
+                                        ledger.dropped->value();
+        if (accounted > converted) {
+          status.ok = false;
+          status.body = "ledger violation: journaled+skipped+dropped=" +
+                        std::to_string(accounted) + " > converted=" +
+                        std::to_string(converted) + "\n";
+        }
+        return status;
+      };
+      metrics_server =
+          std::make_unique<telemetry::MetricsServer>(registry, server_options);
+      if (metrics_port >= 0) {
+        std::fprintf(stderr, "metrics: listening on http://127.0.0.1:%d/metrics\n",
+                     metrics_server->port());
+      }
+    }
+
+    const ingest::IngestReport report = supervisor->run();
     if (detector) {
       detector->flush();
       const auto alerts = detector->merged_alerts();
@@ -218,7 +306,9 @@ int main(int argc, char** argv) {
       }
     }
     if (stats_json) {
-      std::printf("%s\n", ingest::ingest_report_to_json(options, report).dump(2).c_str());
+      json::Value doc = ingest::ingest_report_to_json(options, report);
+      doc.as_object()["metrics"] = registry.snapshot_json();
+      std::printf("%s\n", doc.dump(2).c_str());
     } else {
       std::printf("ingested %llu records across %llu sources (next_seq %llu)\n",
                   static_cast<unsigned long long>(report.records_journaled),
@@ -228,6 +318,19 @@ int main(int argc, char** argv) {
     return (report.sources_failed > 0 || report.sources_truncated > 0) ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    if (stats_json) {
+      // Fatal-error post-mortem: everything the run accomplished before
+      // dying, plus the error itself — the ledger is never empty.
+      json::Value doc =
+          supervisor
+              ? ingest::ingest_report_to_json(options, supervisor->partial_report())
+              : json::Value(json::Object{});
+      doc.as_object()["error"] = json::Value(std::string(e.what()));
+      if (telemetry_enabled) {
+        doc.as_object()["metrics"] = registry.snapshot_json();
+      }
+      std::printf("%s\n", doc.dump(2).c_str());
+    }
     return 1;
   }
 }

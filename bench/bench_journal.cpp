@@ -13,6 +13,11 @@
 //                               monitor path. Acceptance bar: within 2×
 //                               of the PR-2 hub->detection batch path
 //                               (BM_BatchPath in bench_pipeline).
+//   * BM_JournalIndexedQuery  — prefix+time predicate over a ~29-segment
+//                               journal, footers pruning the scan; its
+//                               BM_JournalQueryFullScan twin runs the
+//                               same query with indexing off (the gap is
+//                               the index's whole value proposition).
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -166,6 +171,68 @@ void BM_JournalAppend(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_JournalAppend);
+
+/// A multi-segment recording of the workload (64 KiB segments, ~29 of
+/// them) for the query benches — with or without index footers.
+const std::string& segmented_workload_dir(bool indexed) {
+  static std::string dirs[2];
+  std::string& dir = dirs[indexed ? 1 : 0];
+  if (dir.empty()) {
+    dir = bench_dir(indexed ? "segmented_indexed" : "segmented_noindex");
+    journal::JournalWriterOptions options;
+    options.segment_bytes = 64u << 10;
+    options.index_segments = indexed;
+    journal::JournalWriter writer(dir, options);
+    const auto& stream = workload();
+    constexpr std::size_t kChunk = 1024;
+    for (std::size_t i = 0; i < stream.size(); i += kChunk) {
+      writer.append_batch({stream.data() + i, std::min(kChunk, stream.size() - i)});
+    }
+    writer.close();
+  }
+  return dir;
+}
+
+void run_query_bench(benchmark::State& state, bool indexed) {
+  // The forensics shape: owned prefix inside a narrow time window at the
+  // journal's tail. With footers the reader opens only the overlapping
+  // segment(s); without them every segment is decoded.
+  const std::string& dir = segmented_workload_dir(indexed);
+  journal::QueryFilter filter;
+  filter.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  filter.min_event_us = SimTime::at_seconds(8000).as_micros();
+  filter.max_event_us = SimTime::at_seconds(8191).as_micros();
+  std::uint64_t matched = 0;
+  std::uint64_t scanned = 0;
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    journal::JournalReader reader(dir);
+    reader.set_filter(filter);
+    pipeline::ObservationBatch batch;
+    matched = 0;
+    while (reader.read_batch(batch, 1024) > 0) matched += batch.size();
+    benchmark::DoNotOptimize(matched);
+    scanned = reader.segments_scanned();
+    skipped = reader.segments_skipped();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(matched));
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(matched),
+                                                 benchmark::Counter::kAvgThreads);
+  state.counters["segments_scanned"] = benchmark::Counter(
+      static_cast<double>(scanned), benchmark::Counter::kAvgThreads);
+  state.counters["segments_skipped"] = benchmark::Counter(
+      static_cast<double>(skipped), benchmark::Counter::kAvgThreads);
+}
+
+void BM_JournalIndexedQuery(benchmark::State& state) {
+  run_query_bench(state, /*indexed=*/true);
+}
+BENCHMARK(BM_JournalIndexedQuery);
+
+void BM_JournalQueryFullScan(benchmark::State& state) {
+  run_query_bench(state, /*indexed=*/false);
+}
+BENCHMARK(BM_JournalQueryFullScan);
 
 void BM_JournalReadDecode(benchmark::State& state) {
   // Reader + decode alone (null sink): isolates the read side of replay

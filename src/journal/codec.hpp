@@ -39,6 +39,10 @@ class RecordEncoder {
 
   std::size_t source_table_size() const { return sources_.size(); }
 
+  /// The interned source table, id order (== first-sight order). The
+  /// writer snapshots this at seal time for the segment's index footer.
+  const std::vector<std::string>& sources() const { return sources_; }
+
  private:
   /// Returns the id for `source`; ids are dense and assigned in first-
   /// sight order, mirroring the decoder's reconstruction.

@@ -55,9 +55,16 @@ inline constexpr std::uint16_t kFormatVersion = 1;
 inline constexpr std::size_t kSegmentHeaderSize = 32;
 
 /// Segment file names: seg-<first_seq, 16 lowercase hex digits>.aj —
-/// lexicographic order == sequence order.
+/// lexicographic order == sequence order. A sealed segment may instead
+/// be stored gzip-compressed as seg-<hex>.aj.gz (cold archive form; the
+/// reader decompresses transparently and replay is bit-identical), and
+/// carries its index footer in a seg-<hex>.ajx sidecar (docs/
+/// journal-format.md) — advisory metadata with the batch-frames
+/// contract: torn or missing degrades to a full scan, never an error.
 inline constexpr std::string_view kSegmentPrefix = "seg-";
 inline constexpr std::string_view kSegmentSuffix = ".aj";
+inline constexpr std::string_view kCompressedSegmentSuffix = ".aj.gz";
+inline constexpr std::string_view kIndexSuffix = ".ajx";
 
 /// Batch-framing sidecar: an append-only file of varint batch sizes, one
 /// per append_batch call, after an 8-byte magic. Deliberately NOT a
@@ -71,9 +78,12 @@ inline constexpr std::string_view kSegmentSuffix = ".aj";
 inline constexpr std::string_view kFramesFileName = "batch-frames.ajf";
 inline constexpr std::string_view kFramesMagic = "AJFRAME1";
 
-inline bool is_segment_file_name(std::string_view name) {
-  if (name.size() != kSegmentPrefix.size() + 16 + kSegmentSuffix.size() ||
-      !name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix)) {
+namespace detail {
+/// "seg-" + 16 lowercase hex digits + `suffix`, nothing else.
+inline bool is_segment_name_with_suffix(std::string_view name,
+                                        std::string_view suffix) {
+  if (name.size() != kSegmentPrefix.size() + 16 + suffix.size() ||
+      !name.starts_with(kSegmentPrefix) || !name.ends_with(suffix)) {
     return false;
   }
   for (std::size_t i = 0; i < 16; ++i) {
@@ -81,6 +91,38 @@ inline bool is_segment_file_name(std::string_view name) {
     if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
   }
   return true;
+}
+}  // namespace detail
+
+inline bool is_raw_segment_file_name(std::string_view name) {
+  return detail::is_segment_name_with_suffix(name, kSegmentSuffix);
+}
+
+inline bool is_compressed_segment_file_name(std::string_view name) {
+  return detail::is_segment_name_with_suffix(name, kCompressedSegmentSuffix);
+}
+
+/// A reader-visible segment in either storage form. The index sidecar
+/// (.ajx) and framing sidecar deliberately fail this test, so sequence
+/// accounting and resume only ever see record-bearing files.
+inline bool is_segment_file_name(std::string_view name) {
+  return is_raw_segment_file_name(name) || is_compressed_segment_file_name(name);
+}
+
+inline bool is_index_file_name(std::string_view name) {
+  return detail::is_segment_name_with_suffix(name, kIndexSuffix);
+}
+
+/// The first_seq a segment-shaped file name encodes. Callers must have
+/// checked one of the predicates above.
+inline std::uint64_t segment_name_seq(std::string_view name) {
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = name[kSegmentPrefix.size() + i];
+    seq = (seq << 4) |
+          static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return seq;
 }
 
 // -------------------------------------------------------------- varints

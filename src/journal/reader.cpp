@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
+
+#include "mrt/stream_reader.hpp"
 
 namespace artemis::journal {
 
@@ -28,6 +31,24 @@ JournalReader::MappedSegment::~MappedSegment() { reset(); }
 /// segment-file style NDN-DPDK uses for its I/O path.
 void JournalReader::MappedSegment::open(const std::string& path) {
   reset();
+  if (is_compressed_segment_file_name(
+          std::filesystem::path(path).filename().string())) {
+    // A cold (gzip) segment: decompress into owned storage. Compressed
+    // segments are written whole at seal time (tmp + rename), so unlike
+    // a raw tail, a torn stream here is corruption, not a crash scar.
+    auto input = mrt::open_input(path);
+    std::uint8_t chunk[256 << 10];
+    for (std::size_t n = input->read(chunk); n != 0; n = input->read(chunk)) {
+      owned.insert(owned.end(), chunk, chunk + n);
+    }
+    if (input->truncated()) {
+      throw JournalError(path + ": compressed segment is torn (" +
+                         input->error() + ")");
+    }
+    size = owned.size();
+    data = owned.empty() ? nullptr : owned.data();
+    return;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throw JournalError("cannot open journal segment " + path);
   struct ::stat st = {};
@@ -65,22 +86,64 @@ void JournalReader::MappedSegment::open(const std::string& path) {
 
 JournalReader::JournalReader(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
+  // seg-<16 hex digits>.aj[.gz]: one entry per sequence number. When a
+  // crash during compression left BOTH storage forms, the raw file wins
+  // (it is the one that was sealed first; the writer's resume sweeps the
+  // duplicate).
+  std::map<std::uint64_t, std::string> by_seq;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
-    if (is_segment_file_name(name)) segments_.push_back(entry.path().string());
+    if (!is_segment_file_name(name)) continue;
+    auto [it, inserted] =
+        by_seq.emplace(segment_name_seq(name), entry.path().string());
+    if (!inserted && is_raw_segment_file_name(name)) {
+      it->second = entry.path().string();
+    }
   }
   if (ec) {
     throw JournalError("cannot read journal directory " + dir_ + ": " +
                        ec.message());
   }
-  if (segments_.empty()) {
+  if (by_seq.empty()) {
     throw JournalError("no journal segments in " + dir_);
   }
-  // seg-<16 hex digits>.aj: lexicographic order IS sequence order.
-  std::sort(segments_.begin(), segments_.end());
+  segments_.reserve(by_seq.size());
+  for (auto& [seq, path] : by_seq) segments_.push_back(std::move(path));
 }
 
 bool JournalReader::advance_segment() {
+  while (segment_index_ < segments_.size() && filtering_) {
+    // Footer pruning: when the segment's index footer proves no record
+    // can match the filter, step over it without opening it — for a cold
+    // .gz segment that skips the whole decompression. Anything less than
+    // a valid, matching footer falls through to a normal scan.
+    const std::string& path = segments_[segment_index_];
+    const std::uint64_t name_seq = segment_name_seq(
+        std::filesystem::path(path).filename().string());
+    const auto footer = load_segment_index(index_path(dir_, name_seq));
+    if (!footer.has_value() || footer->first_seq != name_seq ||
+        footer->may_match(filter_)) {
+      break;
+    }
+    if (truncated_tail_) {
+      throw JournalError(segments_[segment_index_ - 1] +
+                         ": truncated mid-journal (later segments exist)");
+    }
+    // The skip preserves exact sequence accounting: the footer's record
+    // count (CRC-protected) advances the expected sequence, so the next
+    // scanned segment faces the same gap check it always did.
+    if (first_segment_) {
+      next_seq_ = name_seq;
+      first_segment_ = false;
+    } else if (name_seq != next_seq_) {
+      throw JournalError(path + ": sequence gap (expected " +
+                         std::to_string(next_seq_) + ", segment starts at " +
+                         std::to_string(name_seq) + ")");
+    }
+    next_seq_ += footer->record_count;
+    ++segment_index_;
+    ++segments_skipped_;
+  }
   if (segment_index_ >= segments_.size()) return false;
   if (truncated_tail_) {
     // A torn record can only exist at the very end of the journal; more
@@ -89,6 +152,7 @@ bool JournalReader::advance_segment() {
                        ": truncated mid-journal (later segments exist)");
   }
   const std::string& path = segments_[segment_index_++];
+  ++segments_scanned_;
   segment_.open(path);
   if (segment_.size < kSegmentHeaderSize) {
     // A segment torn before its header finished: recoverable only at the
@@ -174,28 +238,37 @@ std::size_t JournalReader::read_batch(pipeline::ObservationBatch& out,
       // skip the deep copy for the (unique-record) majority.
       if (decoder_.last_payload_idempotent()) prev_obs_ = slot;
     }
+    // The record-level filter runs after decode (the decoder's delta
+    // chain needs every record regardless); a rejected record leaves the
+    // batch but all sequence and memo bookkeeping still advances.
+    const bool emit = !filtering_ || filter_.matches(slot);
+    if (!emit) out.pop_back();
     prev_offset_ = static_cast<std::size_t>(payload - segment_.data);
     prev_length_ = static_cast<std::size_t>(length);
     prev_crc_ = stored;
     const std::size_t frame_begin = cursor_;
     cursor_ = static_cast<std::size_t>(crc_bytes + 4 - segment_.data);
     ++next_seq_;
-    ++records_read_;
+    ++records_scanned_;
+    if (emit) ++records_read_;
 
     // Run extension: while the NEXT whole frame (length varint, payload,
     // CRC) is byte-identical to the one just emitted and that record is
     // idempotent, emit copies directly — one memcmp replaces framing,
     // CRC and decode per repeat. This is the common case for feed bursts
-    // (a collector message repeating one route).
+    // (a collector message repeating one route). A filtered-out record's
+    // repeats are stepped over the same way, just without emitting.
     if (decoder_.last_payload_idempotent()) {
       const std::size_t frame_len = cursor_ - frame_begin;
-      while (out.size() < max && cursor_ + frame_len <= segment_.size &&
+      while (cursor_ + frame_len <= segment_.size &&
+             !(emit && out.size() >= max) &&
              std::memcmp(segment_.data + frame_begin, segment_.data + cursor_,
                          frame_len) == 0) {
-        out.emplace_back() = prev_obs_;
+        if (emit) out.emplace_back() = prev_obs_;
         cursor_ += frame_len;
         ++next_seq_;
-        ++records_read_;
+        ++records_scanned_;
+        if (emit) ++records_read_;
       }
     }
   }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "journal/codec.hpp"
+#include "journal/index.hpp"
 #include "pipeline/observation_batch.hpp"
 
 namespace artemis::journal {
@@ -37,10 +38,22 @@ class JournalReader {
   JournalReader(const JournalReader&) = delete;
   JournalReader& operator=(const JournalReader&) = delete;
 
+  /// Restricts read_batch to records matching `filter`. Call before the
+  /// first read. Segments whose index footer proves no record can match
+  /// are skipped without being opened (or decompressed) at all; records
+  /// in scanned segments are filtered exactly, after decode. Sequence
+  /// accounting stays intact across skips (the footer's CRC-protected
+  /// record count advances the expected sequence), so gap detection is
+  /// as strict as an unfiltered read.
+  void set_filter(QueryFilter filter) {
+    filter_ = std::move(filter);
+    filtering_ = !filter_.is_trivial();
+  }
+
   /// Clears `out` and refills it with up to `max` observations in
-  /// recorded order. Returns the number delivered; 0 means end of
-  /// journal. Throws JournalError on corruption (bad CRC, sequence gap,
-  /// foreign format version).
+  /// recorded order (matching the filter, when one is set). Returns the
+  /// number delivered; 0 means end of journal. Throws JournalError on
+  /// corruption (bad CRC, sequence gap, foreign format version).
   std::size_t read_batch(pipeline::ObservationBatch& out, std::size_t max);
 
   /// True once an incomplete record was found at the journal's tail (all
@@ -52,6 +65,16 @@ class JournalReader {
   std::uint64_t next_sequence() const { return next_seq_; }
   std::size_t segment_count() const { return segments_.size(); }
   const std::string& dir() const { return dir_; }
+
+  // Scan accounting (the `journal_query` acceptance check: a selective
+  // predicate over a multi-segment journal must SKIP the segments whose
+  // footers rule them out, not open them).
+  /// Segments opened and decoded so far.
+  std::uint64_t segments_scanned() const { return segments_scanned_; }
+  /// Segments pruned by their index footer without being opened.
+  std::uint64_t segments_skipped() const { return segments_skipped_; }
+  /// Records decoded (or run-memo stepped) so far — delivered or not.
+  std::uint64_t records_scanned() const { return records_scanned_; }
 
  private:
   /// One segment's bytes, mmap'd read-only straight from the page cache
@@ -84,6 +107,11 @@ class JournalReader {
   std::uint64_t records_read_ = 0;
   bool first_segment_ = true;
   bool truncated_tail_ = false;
+  QueryFilter filter_;
+  bool filtering_ = false;
+  std::uint64_t segments_scanned_ = 0;
+  std::uint64_t segments_skipped_ = 0;
+  std::uint64_t records_scanned_ = 0;
 
   // Run memo: real feeds repeat a route within a burst, so consecutive
   // records are frequently byte-identical (the delta encoding maps

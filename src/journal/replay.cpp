@@ -16,6 +16,13 @@ ReplayFeed::ReplayFeed(JournalReader& reader, ReplayOptions options)
     throw std::invalid_argument("ReplayOptions::speedup must be > 0");
   }
   buffer_.reserve(options_.batch_size);
+  if (!options_.filter.is_trivial()) {
+    // Predicate replay: push the filter down to the reader (footer-based
+    // segment pruning + exact per-record filtering). Recorded framing
+    // describes the unfiltered stream, so it cannot apply here.
+    reader_.set_filter(options_.filter);
+    options_.use_recorded_framing = false;
+  }
   if (options_.use_recorded_framing) load_frames();
 }
 

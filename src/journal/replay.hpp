@@ -48,6 +48,12 @@ struct ReplayOptions {
   /// chunks for the remainder. Scheduled mode ignores this — its framing
   /// is delivery-time runs, which is already exact pacing.
   bool use_recorded_framing = false;
+  /// Predicate replay: only matching records are emitted, and segments
+  /// whose index footer rules them out are never opened (see
+  /// JournalReader::set_filter). A non-trivial filter disables
+  /// use_recorded_framing — the recorded batch boundaries count records
+  /// the filter removes, so they no longer describe the emitted stream.
+  QueryFilter filter;
 };
 
 class ReplayFeed {

@@ -9,6 +9,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "mrt/stream_reader.hpp"
 
 namespace artemis::journal {
 namespace {
@@ -26,8 +31,43 @@ std::string segment_path(const std::string& dir, std::uint64_t first_seq) {
   return dir + "/" + name;
 }
 
+std::string compressed_segment_path(const std::string& dir,
+                                    std::uint64_t first_seq) {
+  return segment_path(dir, first_seq) + ".gz";
+}
+
 [[noreturn]] void throw_errno(const std::string& what) {
   throw JournalError(what + ": " + std::strerror(errno));
+}
+
+/// Writes `data` to `path` via tmp + fsync + rename, so the file either
+/// exists complete or not at all. Returns false on any failure (the tmp
+/// is removed; nothing else changes).
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  bool ok = true;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  std::error_code ec;
+  if (ok) {
+    std::filesystem::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) std::filesystem::remove(tmp, ec);
+  return ok;
 }
 
 }  // namespace
@@ -67,8 +107,91 @@ std::string fsync_policy_to_string(const JournalWriterOptions& options) {
   return "never";
 }
 
+namespace {
+
+/// "<digits><optional unit>" with the given unit table ("" = factor 1).
+bool parse_scaled(std::string_view text,
+                  std::span<const std::pair<std::string_view, std::uint64_t>> units,
+                  std::uint64_t& value) {
+  std::uint64_t n = 0;
+  const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), n);
+  if (ec != std::errc{}) return false;
+  const std::string_view unit(p, static_cast<std::size_t>(
+                                     text.data() + text.size() - p));
+  for (const auto& [name, factor] : units) {
+    if (unit == name) {
+      if (n > std::numeric_limits<std::uint64_t>::max() / (factor ? factor : 1)) {
+        return false;
+      }
+      value = n * factor;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_retention_policy(std::string_view text, JournalWriterOptions& options) {
+  RetentionPolicy policy;
+  if (text == "none") {
+    options.retention = policy;
+    return true;
+  }
+  static constexpr std::pair<std::string_view, std::uint64_t> kByteUnits[] = {
+      {"", 1}, {"k", 1u << 10}, {"m", 1u << 20}, {"g", 1u << 30}};
+  static constexpr std::pair<std::string_view, std::uint64_t> kAgeUnits[] = {
+      {"s", 1}, {"m", 60}, {"h", 3600}, {"d", 86400}};
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view term = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    const std::size_t eq = term.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = term.substr(0, eq);
+    const std::string_view val = term.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "segments") {
+      static constexpr std::pair<std::string_view, std::uint64_t> kNone[] = {
+          {"", 1}};
+      if (!parse_scaled(val, kNone, n) || n == 0) return false;
+      policy.max_segments = static_cast<std::size_t>(n);
+    } else if (key == "bytes") {
+      if (!parse_scaled(val, kByteUnits, n) || n == 0) return false;
+      policy.max_bytes = n;
+    } else if (key == "age") {
+      if (!parse_scaled(val, kAgeUnits, n) || n == 0) return false;
+      policy.max_age_us = static_cast<std::int64_t>(n) * 1'000'000;
+    } else {
+      return false;
+    }
+  }
+  if (!policy.enabled()) return false;  // empty string
+  options.retention = policy;
+  return true;
+}
+
+std::string retention_policy_to_string(const JournalWriterOptions& options) {
+  const RetentionPolicy& p = options.retention;
+  if (!p.enabled()) return "none";
+  std::string out;
+  const auto term = [&out](const std::string& t) {
+    if (!out.empty()) out += ',';
+    out += t;
+  };
+  if (p.max_segments != 0) term("segments=" + std::to_string(p.max_segments));
+  if (p.max_bytes != 0) term("bytes=" + std::to_string(p.max_bytes));
+  if (p.max_age_us != 0) {
+    term("age=" + std::to_string(p.max_age_us / 1'000'000) + "s");
+  }
+  return out;
+}
+
 JournalWriter::JournalWriter(std::string dir, JournalWriterOptions options)
-    : dir_(std::move(dir)), options_(options) {
+    : dir_(std::move(dir)),
+      options_(options),
+      index_builder_(options.index_segments ? options.index_bloom_bits : 0) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
@@ -79,6 +202,13 @@ JournalWriter::JournalWriter(std::string dir, JournalWriterOptions options)
   frames_buffer_.reserve(4096);
   last_fsync_ms_ = steady_ms();
   resume_existing();
+  // Every segment on disk is now sealed (the resume scan truncated any
+  // torn tail; appends go to a fresh segment). A crash can have sealed
+  // segments without footers — backfill so the archive stays queryable.
+  if (options_.index_segments) {
+    build_missing_footers(dir_, options_.index_bloom_bits);
+  }
+  if (options_.retention.enabled()) load_sealed_registry();
   open_segment();
   open_frames_file();
 }
@@ -119,32 +249,59 @@ void JournalWriter::resume_existing() {
   // NEW segment (appending into the old one is impossible — its encoder
   // state died with the writer; segments decode standalone by design).
   namespace fs = std::filesystem;
+  std::uint64_t first_seq = 0;
   std::string last_path;
+  bool last_compressed = false;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
-    if (is_segment_file_name(name) && entry.path().string() > last_path) {
+    if (!is_segment_file_name(name)) continue;
+    const std::uint64_t seq = segment_name_seq(name);
+    // A crash between "compressed copy renamed in" and "raw removed"
+    // leaves both storage forms. The raw file is the one that was sealed
+    // first — prefer it and sweep the stale duplicate.
+    if (is_compressed_segment_file_name(name) &&
+        fs::exists(segment_path(dir_, seq))) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (last_path.empty() || seq > first_seq ||
+        (seq == first_seq && last_compressed)) {
+      first_seq = seq;
       last_path = entry.path().string();
+      last_compressed = is_compressed_segment_file_name(name);
     }
   }
   if (last_path.empty()) return;
 
-  std::FILE* file = std::fopen(last_path.c_str(), "rb");
-  if (file == nullptr) throw JournalError("cannot open journal segment " + last_path);
-  std::fseek(file, 0, SEEK_END);
-  const long file_size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  std::vector<std::uint8_t> data(file_size > 0 ? static_cast<std::size_t>(file_size)
-                                               : 0);
-  const bool ok =
-      data.empty() || std::fread(data.data(), 1, data.size(), file) == data.size();
-  std::fclose(file);
-  if (!ok) throw JournalError("short read on journal segment " + last_path);
+  std::vector<std::uint8_t> data;
+  if (last_compressed) {
+    // A compressed segment was written whole (tmp + rename at seal), so
+    // it cannot hold a torn tail; decode it only to count its records.
+    auto input = mrt::open_input(last_path);
+    std::uint8_t chunk[64 << 10];
+    for (std::size_t n = input->read(chunk); n != 0; n = input->read(chunk)) {
+      data.insert(data.end(), chunk, chunk + n);
+    }
+    if (input->truncated()) {
+      throw JournalError(last_path + ": compressed segment is torn (" +
+                         input->error() + ")");
+    }
+  } else {
+    std::FILE* file = std::fopen(last_path.c_str(), "rb");
+    if (file == nullptr) {
+      throw JournalError("cannot open journal segment " + last_path);
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long file_size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    data.resize(file_size > 0 ? static_cast<std::size_t>(file_size) : 0);
+    const bool ok = data.empty() ||
+                    std::fread(data.data(), 1, data.size(), file) == data.size();
+    std::fclose(file);
+    if (!ok) throw JournalError("short read on journal segment " + last_path);
+  }
 
-  // The file name encodes first_seq; it is the fallback identity when a
-  // crash tore the write before the header itself was complete.
-  const std::string name = fs::path(last_path).filename().string();
-  std::uint64_t first_seq =
-      std::stoull(name.substr(kSegmentPrefix.size(), 16), nullptr, 16);
   std::size_t complete_end = 0;
   std::uint64_t records = 0;
   if (data.size() >= kSegmentHeaderSize) {
@@ -153,6 +310,8 @@ void JournalWriter::resume_existing() {
       throw JournalError(last_path + ": cannot resume a journal written with "
                          "format version " + std::to_string(header.version));
     }
+    // The file name encodes first_seq; it is the fallback identity when a
+    // crash tore the write before the header itself was complete.
     if (header.first_seq != first_seq) {
       throw JournalError(last_path + ": header sequence " +
                          std::to_string(header.first_seq) +
@@ -170,11 +329,16 @@ void JournalWriter::resume_existing() {
       ++records;
     }
   }
+  if (last_compressed && complete_end < data.size()) {
+    throw JournalError(last_path + ": compressed segment ends mid-record");
+  }
 
   if (records == 0) {
     // Header-only (or torn-before-header) segment: reclaim its slot so
     // the new segment can take the same first_seq without colliding.
     fs::remove(last_path);
+    std::error_code ec;
+    fs::remove(index_path(dir_, first_seq), ec);
   } else if (complete_end < data.size()) {
     std::error_code ec;
     fs::resize_file(last_path, complete_end, ec);
@@ -182,6 +346,11 @@ void JournalWriter::resume_existing() {
       throw JournalError("cannot truncate torn tail of " + last_path + ": " +
                          ec.message());
     }
+    // Any footer sealed before the tear now over-counts the segment
+    // (its record_count includes the records just truncated away, which
+    // would corrupt skip-mode sequence accounting once a later segment
+    // exists). Drop it; the backfill pass rebuilds an accurate one.
+    fs::remove(index_path(dir_, first_seq), ec);
   }
   next_seq_ = first_seq + records;
 }
@@ -210,6 +379,7 @@ void JournalWriter::open_segment() {
   header.encode(raw);
   buffer_.insert(buffer_.end(), raw, raw + kSegmentHeaderSize);
   encoder_.reset();  // segments decode standalone
+  index_builder_.reset(next_seq_);
 }
 
 void JournalWriter::write_buffer() {
@@ -255,6 +425,7 @@ void JournalWriter::append_batch(std::span<const feeds::Observation> batch) {
   if (batch.empty()) return;
   for (const auto& obs : batch) {
     encoder_.encode(obs, buffer_);
+    if (options_.index_segments) index_builder_.add(obs);
     ++next_seq_;
     ++records_;
     last_delivered_us_ = obs.delivered_at.as_micros();
@@ -280,6 +451,9 @@ void JournalWriter::append_batch(std::span<const feeds::Observation> batch) {
     const int fd = fd_;
     fd_ = -1;
     if (::close(fd) != 0) throw_errno("journal segment close failed in " + dir_);
+    // Seal before open_segment(): sealing snapshots the encoder's source
+    // table and the index accumulator, both of which open_segment resets.
+    seal_segment(segment_first_seq_);
     open_segment();
   }
 }
@@ -323,6 +497,123 @@ void JournalWriter::close() {
   if (empty_continuation) {
     std::error_code ec;
     std::filesystem::remove(segment_path(dir_, segment_first_seq_), ec);
+  } else if (next_seq_ > segment_first_seq_) {
+    // Seal the final partial segment too — footer, compression, retention
+    // — so a freshly-stopped journal is immediately index-queryable. (A
+    // record-less first segment stays raw and unfootered: there is
+    // nothing to summarize, and readers treat it as the empty journal.)
+    seal_segment(segment_first_seq_);
+  }
+}
+
+void JournalWriter::seal_segment(std::uint64_t first_seq) {
+  SealedSegment sealed;
+  sealed.first_seq = first_seq;
+  sealed.has_footer = write_footer(first_seq);
+  sealed.bytes = store_sealed(first_seq);
+  sealed.max_delivered_us = last_delivered_us_;
+  sealed_.push_back(sealed);
+  enforce_retention();
+}
+
+bool JournalWriter::write_footer(std::uint64_t first_seq) {
+  if (!options_.index_segments || index_builder_.record_count() == 0) {
+    return false;
+  }
+  const std::vector<std::uint8_t> encoded =
+      index_builder_.finalize(encoder_.sources()).encode();
+  // Best-effort, atomic: a footer either lands whole or the segment just
+  // full-scans (and the next resume backfills it).
+  return write_file_atomic(index_path(dir_, first_seq), encoded);
+}
+
+std::uint64_t JournalWriter::store_sealed(std::uint64_t first_seq) {
+  namespace fs = std::filesystem;
+  const std::string raw_path = segment_path(dir_, first_seq);
+  std::error_code ec;
+  const std::uint64_t raw_size = fs::file_size(raw_path, ec);
+  if (ec) return 0;
+#ifdef ARTEMIS_HAVE_ZLIB
+  if (options_.compress_segments) {
+    std::FILE* file = std::fopen(raw_path.c_str(), "rb");
+    if (file == nullptr) return raw_size;
+    std::vector<std::uint8_t> raw(static_cast<std::size_t>(raw_size));
+    const bool read_ok =
+        std::fread(raw.data(), 1, raw.size(), file) == raw.size();
+    std::fclose(file);
+    if (!read_ok) return raw_size;
+    const std::vector<std::uint8_t> gz = mrt::gzip_compress(raw);
+    const std::string gz_path = compressed_segment_path(dir_, first_seq);
+    // The compressed copy is fsynced before the raw file goes away, so a
+    // power loss never holds the records hostage to page cache; a crash
+    // between rename and remove leaves both forms, and everything
+    // (reader, resume, query) prefers raw.
+    if (!write_file_atomic(gz_path, gz)) return raw_size;
+    fs::remove(raw_path, ec);
+    ++compressions_;
+    if (metrics_.compressions != nullptr) metrics_.compressions->add();
+    return gz.size();
+  }
+#endif
+  return raw_size;
+}
+
+void JournalWriter::load_sealed_registry() {
+  namespace fs = std::filesystem;
+  std::map<std::uint64_t, std::uint64_t> sizes;  // first_seq -> bytes
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (!is_segment_file_name(name)) continue;
+    std::error_code ec;
+    const std::uint64_t size = fs::file_size(entry.path(), ec);
+    if (!ec) sizes[segment_name_seq(name)] = size;
+  }
+  sealed_.clear();
+  for (const auto& [seq, bytes] : sizes) {
+    SealedSegment sealed;
+    sealed.first_seq = seq;
+    sealed.bytes = bytes;
+    if (const auto footer = load_segment_index(index_path(dir_, seq));
+        footer.has_value() && footer->first_seq == seq &&
+        footer->record_count > 0) {
+      sealed.max_delivered_us = footer->max_delivered_us;
+      sealed.has_footer = true;
+    }
+    sealed_.push_back(sealed);
+  }
+}
+
+void JournalWriter::enforce_retention() {
+  const RetentionPolicy& policy = options_.retention;
+  if (!policy.enabled()) return;
+  std::uint64_t total_bytes = 0;
+  for (const SealedSegment& s : sealed_) total_bytes += s.bytes;
+  // Only a PREFIX of the sealed list may go: deleting a middle segment
+  // would open a sequence gap, which readers correctly refuse. The age
+  // rule therefore stops at the first segment it cannot judge (no
+  // footer) or that is still young.
+  while (!sealed_.empty()) {
+    const SealedSegment& oldest = sealed_.front();
+    bool reap = false;
+    if (policy.max_segments != 0 && sealed_.size() > policy.max_segments) {
+      reap = true;
+    }
+    if (!reap && policy.max_bytes != 0 && total_bytes > policy.max_bytes) {
+      reap = true;
+    }
+    if (!reap && policy.max_age_us != 0 && oldest.has_footer &&
+        last_delivered_us_ - oldest.max_delivered_us > policy.max_age_us) {
+      reap = true;
+    }
+    if (!reap) break;
+    std::error_code ec;
+    std::filesystem::remove(segment_path(dir_, oldest.first_seq), ec);
+    std::filesystem::remove(compressed_segment_path(dir_, oldest.first_seq), ec);
+    std::filesystem::remove(index_path(dir_, oldest.first_seq), ec);
+    total_bytes -= oldest.bytes;
+    sealed_.erase(sealed_.begin());
+    ++retention_deletes_;
+    if (metrics_.retention_deletes != nullptr) metrics_.retention_deletes->add();
   }
 }
 

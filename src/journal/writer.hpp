@@ -23,6 +23,7 @@
 #include "feeds/monitor_hub.hpp"
 #include "feeds/observation.hpp"
 #include "journal/codec.hpp"
+#include "journal/index.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace artemis::journal {
@@ -35,6 +36,27 @@ namespace artemis::journal {
 /// kInterval bounds it to a wall-clock window at a per-interval fsync
 /// cost (the always-on ingest service's setting).
 enum class FsyncPolicy : std::uint8_t { kNever, kOnRotate, kInterval };
+
+/// What the writer deletes, and when. All limits apply to SEALED
+/// segments only — the active segment is never deleted — and are
+/// enforced oldest-first at every seal (rotation or close). Zero means
+/// "no limit" for each knob; the default policy deletes nothing.
+struct RetentionPolicy {
+  /// Keep at most this many sealed segments.
+  std::size_t max_segments = 0;
+  /// Keep at most this many on-disk bytes of sealed segments (compressed
+  /// segments count their compressed size).
+  std::uint64_t max_bytes = 0;
+  /// Delete sealed segments whose newest record was delivered more than
+  /// this far (sim micros) before the journal's newest record. Applies
+  /// only to segments with a readable index footer — age is unknowable
+  /// without one, and retention never guesses.
+  std::int64_t max_age_us = 0;
+
+  bool enabled() const {
+    return max_segments != 0 || max_bytes != 0 || max_age_us != 0;
+  }
+};
 
 struct JournalWriterOptions {
   /// Rotate to a new segment once the current one reaches this many
@@ -49,7 +71,28 @@ struct JournalWriterOptions {
   /// whenever buffered bytes reach the file (so an idle writer does not
   /// wake; the bound is "interval after the next write").
   std::int64_t fsync_interval_ms = 1000;
+  /// Write a seg-<hex>.ajx index footer for every sealed segment (at
+  /// rotation and at close), and backfill footers missing after a crash
+  /// on resume. Footers are advisory — readers work without them — so
+  /// this is safe to toggle per run.
+  bool index_segments = true;
+  /// Bloom filter size for the footers, bits (power of two >= 64).
+  std::uint32_t index_bloom_bits = kDefaultBloomBits;
+  /// Re-store sealed segments gzip-compressed (seg-<hex>.aj.gz; the raw
+  /// file is removed only after the compressed one is fully on disk).
+  /// Silently keeps segments raw when the binary lacks zlib.
+  bool compress_segments = false;
+  RetentionPolicy retention;
 };
+
+/// Parses the CLI spelling of the retention knob into `options`:
+/// "none", or a comma-separated list of `segments=<n>`, `bytes=<n[k|m|g]>`
+/// and `age=<n[s|m|h|d]>` terms ("segments=48,age=24h"). Returns false
+/// on any other text.
+bool parse_retention_policy(std::string_view text, JournalWriterOptions& options);
+
+/// The inverse spelling, for stats output ("segments=48,age=86400s").
+std::string retention_policy_to_string(const JournalWriterOptions& options);
 
 /// Parses the CLI/scenario spelling of the knob — "never", "on_rotate",
 /// or "interval:<ms>" — into `options`. Returns false on any other text.
@@ -122,6 +165,11 @@ class JournalWriter {
   /// Batches appended so far (== lines in the framing sidecar).
   std::uint64_t batches_written() const { return batches_; }
 
+  /// Sealed segments re-stored gzip-compressed so far.
+  std::uint64_t segments_compressed() const { return compressions_; }
+  /// Sealed segments deleted by the retention policy so far.
+  std::uint64_t segments_deleted() const { return retention_deletes_; }
+
   /// Attaches telemetry cells (register via telemetry::register_journal).
   /// Observation-only relaxed stores; the tap's zero-allocation steady
   /// state is unchanged (alloc-test enforced).
@@ -130,6 +178,16 @@ class JournalWriter {
   }
 
  private:
+  /// One sealed segment the retention policy may reap: identity, on-disk
+  /// cost, and (when its footer was readable) the delivery time of its
+  /// newest record for the age rule.
+  struct SealedSegment {
+    std::uint64_t first_seq = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t max_delivered_us = 0;
+    bool has_footer = false;
+  };
+
   /// Continues an existing journal in `dir_`: computes the resume
   /// sequence from the last segment and truncates its torn tail, if any.
   void resume_existing();
@@ -138,6 +196,20 @@ class JournalWriter {
   void do_fsync();
   void open_frames_file();
   void write_frames_buffer();
+  /// Post-close-of-fd sealing of the segment starting at `first_seq`:
+  /// index footer, optional compression, retention sweep. Must run
+  /// before open_segment() resets the encoder's source table.
+  void seal_segment(std::uint64_t first_seq);
+  /// True when a valid footer is on disk afterwards (footer writes are
+  /// best-effort: a failure degrades that segment to full scans).
+  bool write_footer(std::uint64_t first_seq);
+  /// Rewrites seg-<hex>.aj as seg-<hex>.aj.gz; returns the stored size
+  /// (compressed, or raw when compression is off/unavailable).
+  std::uint64_t store_sealed(std::uint64_t first_seq);
+  void enforce_retention();
+  /// Scans dir_ for already-sealed segments (resume) so retention counts
+  /// the journal's full history, not just this process's segments.
+  void load_sealed_registry();
 
   std::string dir_;
   JournalWriterOptions options_;
@@ -164,6 +236,14 @@ class JournalWriter {
   std::size_t frames_consumed_ = 0;  ///< frames_buffer_ prefix written out
   telemetry::JournalCounters metrics_;  ///< null cells = disabled
   bool closed_ = false;
+  // Queryable-archive state: the open segment's footer accumulator (its
+  // Bloom array is allocated once here and memset per segment, keeping
+  // the append tap allocation-free) and the sealed-segment registry the
+  // retention sweep walks oldest-first.
+  SegmentIndexBuilder index_builder_;
+  std::vector<SealedSegment> sealed_;  ///< ascending first_seq
+  std::uint64_t compressions_ = 0;
+  std::uint64_t retention_deletes_ = 0;
 };
 
 }  // namespace artemis::journal

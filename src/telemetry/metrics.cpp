@@ -349,6 +349,12 @@ JournalCounters register_journal(MetricsRegistry& registry) {
   c.lag_records = registry.gauge(
       "artemis_journal_lag_records",
       "Encoded records buffered in the writer but not yet written");
+  c.compressions =
+      registry.counter("artemis_journal_compressions_total",
+                       "Sealed segments re-stored gzip-compressed");
+  c.retention_deletes =
+      registry.counter("artemis_journal_retention_deletes_total",
+                       "Sealed segments deleted by the retention policy");
   return c;
 }
 

@@ -215,6 +215,8 @@ struct JournalCounters {
   Counter* fsyncs = nullptr;     ///< fsync(2) calls
   Counter* rotations = nullptr;  ///< segment rotations
   Gauge* lag_records = nullptr;  ///< buffered-not-yet-written records
+  Counter* compressions = nullptr;       ///< sealed segments gzip-compressed
+  Counter* retention_deletes = nullptr;  ///< sealed segments reaped by retention
   bool enabled() const noexcept { return appends != nullptr; }
 };
 JournalCounters register_journal(MetricsRegistry& registry);

@@ -9,7 +9,12 @@
 #   2. replaying the committed journal at shards 1 and 4 yields the
 #      committed canonical alert list (replay + sharded detection
 #      determinism — any N, same merged output);
-#   3. the freshly imported journal replays to the same alerts too.
+#   3. the freshly imported journal replays to the same alerts too;
+#   4. a --compress import (gzip'd cold segments) replays and queries to
+#      the SAME alerts and query results — never byte-compared (.gz
+#      output is zlib-version-dependent), always record-compared;
+#   5. journal_query reproduces the committed query.txt, and a
+#      footer-pruned query reports the segment skip (the index gate).
 #
 # Regenerate fixtures with tests/golden/make_golden.sh after an
 # INTENTIONAL format/importer change.
@@ -56,5 +61,30 @@ echo "ok: threaded (futex) replay is bit-identical to the golden alerts"
   --shards 4 > "$tmp/alerts_fresh.txt"
 diff "$GOLD_DIR/alerts.txt" "$tmp/alerts_fresh.txt"
 echo "ok: freshly imported journal replays to the golden alerts"
+
+# 4. Compressed import: sealed segments stored as seg-*.aj.gz must
+# replay and query record-identically. No .gz byte comparison, ever.
+"$BUILD_DIR/mrt2journal" --journal "$tmp/journal_gz" --compress \
+  "$GOLD_DIR/dual_stack.mrt.gz" > /dev/null
+ls "$tmp/journal_gz" | grep -q '\.aj\.gz$' || {
+  echo "FAIL: --compress import produced no compressed segment"; exit 1; }
+"$BUILD_DIR/journal_alerts" --journal "$tmp/journal_gz" "${OWNED[@]}" \
+  --shards 4 > "$tmp/alerts_gz.txt"
+diff "$GOLD_DIR/alerts.txt" "$tmp/alerts_gz.txt"
+"$BUILD_DIR/journal_query" --journal "$tmp/journal_gz" \
+  --prefix 10.0.0.0/23 --type announce > "$tmp/query_gz.txt" 2> /dev/null
+diff "$GOLD_DIR/query.txt" "$tmp/query_gz.txt"
+echo "ok: compressed import replays and queries identically to raw"
+
+# 5. journal_query golden output, and the index actually prunes: a
+# query whose footer proves no match must skip the (only) segment.
+"$BUILD_DIR/journal_query" --journal "$GOLD_DIR/journal" \
+  --prefix 10.0.0.0/23 --type announce > "$tmp/query.txt" 2> /dev/null
+diff "$GOLD_DIR/query.txt" "$tmp/query.txt"
+"$BUILD_DIR/journal_query" --journal "$GOLD_DIR/journal" \
+  --source no-such-feed --count > /dev/null 2> "$tmp/query_stats.txt"
+grep -q 'scanned 0/1 segment(s) (1 skipped via index)' "$tmp/query_stats.txt" || {
+  echo "FAIL: footer did not prune the segment:"; cat "$tmp/query_stats.txt"; exit 1; }
+echo "ok: journal_query matches the golden output and footers prune"
 
 echo "replay-determinism gate passed"

@@ -6,6 +6,8 @@
 #   journal/           — that window imported by mrt2journal
 #   alerts.txt         — canonical merged alerts from replaying journal/
 #                        through detection (tools/journal_alerts)
+#   query.txt          — canonical journal_query output for the hijacked
+#                        prefix (tools/journal_query, text form)
 #
 # Run this ONLY when the journal format, the importer's output, or the
 # fixture window changes intentionally — the whole point of the committed
@@ -29,6 +31,9 @@ rm -rf "$GOLD_DIR/journal"
   --owned 192.0.2.0/24=65002 \
   --owned 2001:db8::/32=65003 \
   --shards 1 > "$GOLD_DIR/alerts.txt"
+
+"$BUILD_DIR/journal_query" --journal "$GOLD_DIR/journal" \
+  --prefix 10.0.0.0/23 --type announce > "$GOLD_DIR/query.txt" 2> /dev/null
 
 echo "golden fixtures regenerated under $GOLD_DIR:"
 ls -la "$GOLD_DIR/journal"

@@ -181,9 +181,13 @@ TEST(JournalReplayTest, CrashRecoveryRebuildsIdenticalDetectionState) {
   }
 
   // Simulate the crash: tear bytes off the journal's tail mid-record.
+  // (Record-bearing segments only — the directory also holds the framing
+  // and index sidecars, which are not the journal's tail.)
   std::vector<std::string> segments;
   for (const auto& entry : fs::directory_iterator(dir)) {
-    segments.push_back(entry.path().string());
+    if (is_segment_file_name(entry.path().filename().string())) {
+      segments.push_back(entry.path().string());
+    }
   }
   std::sort(segments.begin(), segments.end());
   const std::string& last = segments.back();

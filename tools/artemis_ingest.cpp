@@ -11,6 +11,13 @@
 // Usage: artemis_ingest --journal DIR [options] <url...>
 //   --journal DIR       target journal directory (created or resumed)
 //   --fsync POLICY      never | on_rotate | interval:<ms>  (default never)
+//   --compress          store sealed journal segments gzip-compressed
+//   --retain POLICY     sealed-segment retention: none (default) or
+//                       comma-joined segments=<n>, bytes=<n[k|m|g]>,
+//                       age=<n[s|m|h|d]> terms (oldest deleted first,
+//                       never the active segment) — bounds disk for
+//                       always-on ingest
+//   --no-index          skip per-segment index footers
 //   --retries N         consecutive no-progress failures per URL before
 //                       the source fails (default 8)
 //   --backoff-ms N      first retry delay; doubles per retry (default 250)
@@ -74,7 +81,8 @@ bool g_stats_json_on_error = false;
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
-               "usage: artemis_ingest --journal DIR [--fsync POLICY] [--retries N] "
+               "usage: artemis_ingest --journal DIR [--fsync POLICY] [--compress] "
+               "[--retain POLICY] [--no-index] [--retries N] "
                "[--backoff-ms N] [--max-backoff-ms N] [--timeout-ms N] "
                "[--max-lag N] [--policy flush|drop] [--seed N] [--source NAME] "
                "[--batch N] [--stats-json] [--metrics-port N] "
@@ -134,6 +142,16 @@ int main(int argc, char** argv) {
       if (!journal::parse_fsync_policy(flag_value("--fsync"), options.journal)) {
         usage_error("--fsync must be never, on_rotate, or interval:<ms>");
       }
+    } else if (arg == "--compress") {
+      options.journal.compress_segments = true;
+    } else if (arg == "--retain") {
+      if (!journal::parse_retention_policy(flag_value("--retain"),
+                                           options.journal)) {
+        usage_error("--retain must be none or comma-joined segments=<n>, "
+                    "bytes=<n[k|m|g]>, age=<n[s|m|h|d]> terms");
+      }
+    } else if (arg == "--no-index") {
+      options.journal.index_segments = false;
     } else if (arg == "--retries") {
       options.fetch.max_retries =
           static_cast<int>(parse_long("--retries", flag_value("--retries"), 0));

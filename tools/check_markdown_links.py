@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI gate).
+
+Scans README.md and docs/*.md (plus any files given on the command
+line) for inline links `[text](target)` and checks, offline:
+
+  * relative file targets exist (query strings stripped);
+  * fragment targets (`file.md#anchor`, or bare `#anchor` into the same
+    file) name a real heading, using GitHub's slug rules (lowercase,
+    spaces -> '-', punctuation dropped, duplicate slugs suffixed -1/-2);
+  * absolute http(s) URLs are NOT fetched — only syntax-checked — so CI
+    stays hermetic.
+
+Exit 0 when every link resolves, 1 with a per-link report otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug: strip markdown, lowercase, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_]", "", text)
+    slug = "".join(c for c in text.lower() if c.isalnum() or c in " -_")
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        seen: dict = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main(argv):
+    repo = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv[1:]]
+    if not files:
+        files = [repo / "README.md"] + sorted((repo / "docs").glob("*.md"))
+    anchor_cache: dict = {}
+    errors = []
+    checked = 0
+    for md in files:
+        md = md.resolve()
+        try:
+            shown = md.relative_to(repo)
+        except ValueError:
+            shown = md
+        for lineno, target in links_of(md):
+            checked += 1
+            where = f"{shown}:{lineno}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # syntax only; CI stays offline
+            raw, _, fragment = target.partition("#")
+            raw = raw.split("?")[0]
+            dest = md if not raw else (md.parent / raw).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken file link '{target}'")
+                continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                    errors.append(f"{where}: fragment into non-markdown '{target}'")
+                elif fragment.lower() not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{where}: dead anchor '{target}'")
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"{len(errors)} broken link(s) out of {checked} checked",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} links checked across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,14 @@
 //   --lag-s N         delivered_at = event_time + N seconds (default 0)
 //   --batch N         observations per appended batch (default 4096)
 //   --fsync POLICY    never | on_rotate | interval:<ms>  (default never)
+//   --compress        store sealed segments gzip-compressed (cold
+//                     archive form; replay is bit-identical)
+//   --retain POLICY   retention for sealed segments: none (default) or
+//                     comma-joined segments=<n>, bytes=<n[k|m|g]>,
+//                     age=<n[s|m|h|d]> terms — oldest segments are
+//                     deleted first, the active segment never
+//   --no-index        skip the per-segment index footers (journal_query
+//                     then full-scans every segment)
 //
 // Files import in argument order through one monotone import clock.
 // Truncated files (interrupted downloads) import every complete record
@@ -44,7 +52,8 @@ namespace {
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
                "usage: mrt2journal --journal DIR [--source NAME] [--single-source] "
-               "[--lag-s N] [--batch N] [--fsync POLICY] <file.mrt...>\n");
+               "[--lag-s N] [--batch N] [--fsync POLICY] [--compress] "
+               "[--retain POLICY] [--no-index] <file.mrt...>\n");
   std::exit(2);
 }
 
@@ -92,6 +101,15 @@ int main(int argc, char** argv) {
       if (!journal::parse_fsync_policy(flag_value("--fsync"), writer_options)) {
         usage_error("--fsync must be never, on_rotate, or interval:<ms>");
       }
+    } else if (arg == "--compress") {
+      writer_options.compress_segments = true;
+    } else if (arg == "--retain") {
+      if (!journal::parse_retention_policy(flag_value("--retain"), writer_options)) {
+        usage_error("--retain must be none or comma-joined segments=<n>, "
+                    "bytes=<n[k|m|g]>, age=<n[s|m|h|d]> terms");
+      }
+    } else if (arg == "--no-index") {
+      writer_options.index_segments = false;
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error(("unknown option " + std::string(arg)).c_str());
     } else {

@@ -207,6 +207,91 @@ void BM_DetectionProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectionProcess);
 
+/// A full-internet-scale multi-tenant config: `prefixes` owned prefixes
+/// spread round-robin across `tenants` tenants (tenants=1 uses the v1
+/// implicit-default-tenant path, the single-operator baseline).
+core::Config ownership_config(std::size_t prefixes, std::size_t tenants) {
+  Rng rng(11);
+  core::Config config;
+  std::vector<core::TenantId> ids;
+  if (tenants > 1) {
+    for (std::size_t t = 0; t < tenants; ++t) {
+      ids.push_back(config.add_tenant("as" + std::to_string(64496 + t)));
+    }
+  }
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    core::OwnedPrefix owned;
+    owned.prefix = random_prefix(rng);
+    owned.legitimate_origins.insert(
+        static_cast<bgp::Asn>(64496 + (i % std::max<std::size_t>(tenants, 1))));
+    if (tenants > 1) {
+      config.add_owned(ids[i % tenants], std::move(owned));
+    } else {
+      config.add_owned(std::move(owned));
+    }
+  }
+  return config;
+}
+
+void BM_OwnershipColdLoad(benchmark::State& state) {
+  // BENCH_5 (ROADMAP): time-to-first-alert after loading a
+  // full-internet-scale config — build the immutable OwnershipTable
+  // snapshot from `prefixes` owned prefixes across `tenants` tenants,
+  // stand detection up on it, and classify a known hijack. The config
+  // object itself is built outside the loop: the measured cold path is
+  // snapshot construction + first classification, which is what a
+  // process restart or an incremental reload pays.
+  const auto prefixes = static_cast<std::size_t>(state.range(0));
+  const auto tenants = static_cast<std::size_t>(state.range(1));
+  core::Config config = ownership_config(prefixes, tenants);
+  core::OwnedPrefix victim;
+  victim.prefix = net::Prefix::must_parse("10.99.0.0/23");
+  victim.legitimate_origins.insert(65001);
+  config.add_owned(std::move(victim));
+  feeds::Observation hijack;
+  hijack.type = feeds::ObservationType::kAnnouncement;
+  hijack.source = "bench";
+  hijack.vantage = 9;
+  hijack.prefix = net::Prefix::must_parse("10.99.0.0/23");
+  hijack.attrs.as_path = bgp::AsPath({9, 3356, 666});
+  for (auto _ : state) {
+    core::DetectionService detector(config.build_table());
+    detector.process(hijack);
+    if (detector.alerts().empty()) state.SkipWithError("no first alert");
+    benchmark::DoNotOptimize(detector.alerts().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(prefixes));
+}
+// The acceptance-floor point (>=1M prefixes, >=1k tenants) plus a
+// smaller point for trend reading.
+BENCHMARK(BM_OwnershipColdLoad)
+    ->Args({100000, 1000})
+    ->Args({1 << 20, 1000})
+    ->ArgNames({"prefixes", "tenants"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OwnershipLookup(benchmark::State& state) {
+  // The steady-state half of the acceptance bar: a multi-tenant match
+  // must stay within 2x of the single-tenant Config::match cost at equal
+  // prefix counts (tenants=1 IS that baseline — same table type, v1
+  // construction path). Miss-heavy mix like BM_TrieLpmLookup.
+  const auto prefixes = static_cast<std::size_t>(state.range(0));
+  const auto tenants = static_cast<std::size_t>(state.range(1));
+  const auto table = ownership_config(prefixes, tenants).build_table();
+  Rng rng(12);
+  std::vector<net::Prefix> queries;
+  for (int i = 0; i < 4096; ++i) queries.push_back(random_prefix(rng, 16, 28));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->match(queries[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OwnershipLookup)
+    ->Args({900000, 1})
+    ->Args({900000, 1000})
+    ->ArgNames({"prefixes", "tenants"});
+
 void BM_JsonParseConfig(benchmark::State& state) {
   const std::string text = R"({
     "prefixes": [

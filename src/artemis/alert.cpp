@@ -17,10 +17,15 @@ std::string HijackAlert::dedup_key() const {
   std::string key(core::to_string(type));
   key += "|" + observed_prefix.to_string();
   key += "|" + std::to_string(offender);
+  // Single-operator keys stay byte-identical to pre-multi-tenant builds;
+  // named tenants scope theirs (same partitioning as AlertKey::tenant).
+  if (tenant != kDefaultTenantId) key += "|t" + std::to_string(tenant);
   return key;
 }
 
-AlertKey HijackAlert::key() const { return AlertKey{type, observed_prefix, offender}; }
+AlertKey HijackAlert::key() const {
+  return AlertKey{type, observed_prefix, offender, tenant};
+}
 
 std::string HijackAlert::to_string() const {
   std::string out = "ALERT[";
@@ -35,6 +40,12 @@ std::string HijackAlert::to_string() const {
   out += " via AS" + std::to_string(vantage);
   out += "/" + source;
   out += " at " + detected_at.to_string();
+  // The default tenant prints nothing extra, keeping single-operator
+  // output (and the golden alert fixtures) byte-identical.
+  if (tenant != kDefaultTenantId) {
+    out += " tenant=";
+    out += tenant_name.empty() ? std::to_string(tenant) : tenant_name;
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "artemis/ownership.hpp"
 #include "bgp/types.hpp"
 #include "feeds/observation.hpp"
 #include "netbase/prefix.hpp"
@@ -28,6 +29,11 @@ struct HijackAlert {
   HijackType type = HijackType::kExactOrigin;
   /// The owned prefix that matched.
   net::Prefix owned_prefix;
+  /// Whose prefix it is: the owning tenant of the matched entry (the
+  /// implicit default tenant for single-operator configs) and its
+  /// display name, the alert-routing key of a shared deployment.
+  TenantId tenant = kDefaultTenantId;
+  std::string tenant_name;
   /// The prefix actually observed (differs for sub/super-prefix hijacks).
   net::Prefix observed_prefix;
   /// The offending origin AS (for kFakeFirstHop: the fake neighbor).
@@ -51,11 +57,14 @@ struct HijackAlert {
 
 /// POD identity of "the same hijack": what dedup_key() encodes, without
 /// materializing a string. Hashable, so the detection service can look up
-/// an already-seen observation with zero heap allocations.
+/// an already-seen observation with zero heap allocations. Tenant-scoped:
+/// after a reload moves a prefix between tenants, the new owner's first
+/// alert is a fresh alert, not a dedup hit on the old owner's record.
 struct AlertKey {
   HijackType type = HijackType::kExactOrigin;
   net::Prefix observed_prefix;
   bgp::Asn offender = bgp::kNoAsn;
+  TenantId tenant = kDefaultTenantId;
 
   bool operator==(const AlertKey&) const = default;
 };
@@ -66,6 +75,8 @@ struct AlertKeyHash {
     h ^= static_cast<std::size_t>(k.offender) + 0x9e3779b97f4a7c15ULL + (h << 6) +
          (h >> 2);
     h ^= static_cast<std::size_t>(k.type) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<std::size_t>(k.tenant) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
     return h;
   }
 };

@@ -21,11 +21,14 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
   detector_options.pin_workers = options.detection_pin;
   detector_options.detection = options.detection;
   detector_options.metrics = options.metrics;
-  detector_ = std::make_unique<pipeline::ShardedDetector>(config_, detector_options);
+  // One frozen snapshot feeds all three services — the config trie is
+  // built once, not once per service (or per shard).
+  auto table = config_.build_table();
+  detector_ = std::make_unique<pipeline::ShardedDetector>(table, detector_options);
   hub_.set_metrics(options.metrics);
   mitigation_ =
-      std::make_unique<MitigationService>(config_, *controller_, network.simulator());
-  monitoring_ = std::make_unique<MonitoringService>(config_);
+      std::make_unique<MitigationService>(table, *controller_, network.simulator());
+  monitoring_ = std::make_unique<MonitoringService>(std::move(table));
 
   if (!options.journal_dir.empty()) {
     // The tap subscribes before the detector so the recorded stream is
@@ -39,24 +42,39 @@ ArtemisApp::ArtemisApp(Config config, sim::Network& network, bgp::Asn router_asn
   }
   detector_->attach(hub_);
   monitoring_->attach(hub_);
-  if (config_.mitigation().auto_mitigate) {
-    // Alerts from every shard feed the one mitigation service (its own
-    // dedup keeps a single plan per hijack). Threaded mode: handlers fire
-    // concurrently on worker threads, and MitigationService (and the sim
-    // event queue it schedules into) is single-threaded — serialize.
-    if (options.detection_threaded) {
-      detector_->on_alert([m = mitigation_.get(),
-                           lock = std::make_shared<std::mutex>()](
-                              const HijackAlert& alert) {
-        const std::scoped_lock guard(*lock);
-        m->handle_alert(alert);
-      });
-    } else {
-      detector_->on_alert([m = mitigation_.get()](const HijackAlert& alert) {
-        m->handle_alert(alert);
-      });
-    }
+  // Alerts from every shard feed the one mitigation service (its own
+  // dedup keeps a single plan per hijack, and it checks the owning
+  // tenant's auto_mitigate per alert). Registered unconditionally — not
+  // gated on any_auto_mitigate() — because a reload() can switch a
+  // tenant's policy on later, and threaded-mode handlers cannot be added
+  // after the first submit. Threaded mode: handlers fire concurrently on
+  // worker threads, and MitigationService (and the sim event queue it
+  // schedules into) is single-threaded — serialize.
+  if (options.detection_threaded) {
+    detector_->on_alert([m = mitigation_.get(),
+                         lock = std::make_shared<std::mutex>()](
+                            const HijackAlert& alert) {
+      const std::scoped_lock guard(*lock);
+      m->handle_alert(alert);
+    });
+  } else {
+    detector_->on_alert([m = mitigation_.get()](const HijackAlert& alert) {
+      m->handle_alert(alert);
+    });
   }
+}
+
+void ArtemisApp::reload(Config config) {
+  config_ = std::move(config);
+  auto table = config_.build_table();
+  // Order matters only for the detector: its reload() drains in-flight
+  // batches, so the swap lands between batches in every shard. Alert
+  // handlers (mitigation) run inside process_batch — by the time
+  // detector_->reload returns, no handler is mid-flight, and the two
+  // set_ownership calls below are plain writes from this thread.
+  detector_->reload(table);
+  mitigation_->set_ownership(table);
+  monitoring_->set_ownership(std::move(table));
 }
 
 }  // namespace artemis::core

@@ -70,6 +70,19 @@ class ArtemisApp {
   ArtemisApp& operator=(const ArtemisApp&) = delete;
 
   const Config& config() const { return config_; }
+
+  /// Incremental reload: freezes `config` into a new ownership snapshot
+  /// and swaps every service onto it — detector shards at a drained batch
+  /// boundary (ShardedDetector::reload), mitigation and monitoring
+  /// immediately after. No restart, no re-replay: alert, dedup and
+  /// mitigation state survive; observations delivered after reload() are
+  /// classified and policied under the new config. Call from the
+  /// submission (producer) thread.
+  void reload(Config config);
+
+  /// The ownership snapshot all services currently share.
+  const OwnershipTable& ownership() const { return detector_->ownership(); }
+
   feeds::MonitorHub& hub() { return hub_; }
   /// The first detection shard — the whole service when detection_shards
   /// is 1 (the default). With more shards this view is PARTIAL: register

@@ -1,87 +1,84 @@
-// ARTEMIS operator configuration.
+// ARTEMIS ownership configuration: the mutable builder/parser side.
 //
-// The operator declares what they own: prefixes, the origin ASNs entitled
-// to announce them, and (optionally) the legitimate upstream neighbors —
-// the ground truth the detection service checks observations against.
-// Loadable from JSON (the deployment artifact an operator would edit).
+// Operators (tenants) declare what they own: prefixes, the origin ASNs
+// entitled to announce them, and (optionally) the legitimate upstream
+// neighbors. Config accumulates those declarations and parses/serializes
+// the JSON deployment artifact; the detection path never reads a Config
+// directly — it reads the immutable OwnershipTable snapshot that
+// build_table() freezes out of one (see ownership.hpp for the
+// publication story).
+//
+// Two JSON schemas load interchangeably (README "Configuration"):
+//   * v1 (single operator): top-level {"prefixes":[...],"mitigation":{}}
+//     — loads as the implicit default tenant (id 0, name "default"),
+//     byte-compatible round trip through to_json().
+//   * v2 (multi-tenant):   {"schema_version":2,"tenants":[{"name":...,
+//     "prefixes":[...],"mitigation":{...}},...]}
 #pragma once
 
-#include <set>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artemis/ownership.hpp"
 #include "bgp/types.hpp"
 #include "json/json.hpp"
 #include "netbase/prefix.hpp"
-#include "netbase/prefix_trie.hpp"
 #include "util/time.hpp"
 
 namespace artemis::core {
-
-/// One owned prefix and its legitimacy ground truth.
-struct OwnedPrefix {
-  net::Prefix prefix;
-  /// ASNs allowed to originate this prefix (usually one; anycast/multi-
-  /// origin setups list several).
-  std::set<bgp::Asn> legitimate_origins;
-  /// Direct upstream/peer ASNs expected adjacent to the origin in paths.
-  /// Empty disables the Type-1 (fake first-hop) check for this prefix.
-  std::set<bgp::Asn> legitimate_neighbors;
-};
-
-/// Mitigation policy knobs (paper §2: de-aggregation with the /24 caveat).
-struct MitigationPolicy {
-  /// Announce sub-prefixes no longer than this (the Internet's filtering
-  /// boundary). A hijacked prefix is split into its two halves as long as
-  /// they are <= this length.
-  int deaggregation_floor = 24;
-  /// Also re-announce the exact hijacked prefix (helps when the hijack is
-  /// losing the tie-break anyway; harmless otherwise).
-  bool reannounce_exact = true;
-  /// Automatic mitigation on alert; false = detect-only (alert mode).
-  bool auto_mitigate = true;
-  /// Outsourcing (extension, following the authors' later work): when
-  /// helper controllers are registered with the MitigationService, have
-  /// the helper organizations announce the mitigation prefixes too (MOAS)
-  /// and tunnel the traffic back. kWhenInfeasible only activates helpers
-  /// for victims de-aggregation cannot defend (/24s).
-  enum class Outsource : std::uint8_t { kNever, kWhenInfeasible, kAlways };
-  Outsource outsource = Outsource::kWhenInfeasible;
-};
 
 class Config {
  public:
   Config() = default;
 
+  /// Registers a tenant and returns its id (dense, in registration
+  /// order). Throws std::invalid_argument on an empty or duplicate name.
+  TenantId add_tenant(std::string name, MitigationPolicy mitigation = {});
+
+  /// Adds an owned prefix under `tenant` (which must exist). Throws when
+  /// the entry lists no legitimate origins.
+  void add_owned(TenantId tenant, OwnedPrefix owned);
+
+  /// v1-compat form: adds under the implicit default tenant (id 0,
+  /// created on first use). `owned.tenant` is overwritten.
   void add_owned(OwnedPrefix owned);
 
+  /// Every owned prefix across every tenant, flat, in insertion order,
+  /// tenant-tagged (OwnedPrefix::tenant).
   const std::vector<OwnedPrefix>& owned() const { return owned_; }
   bool owns_nothing() const { return owned_.empty(); }
 
-  MitigationPolicy& mitigation() { return mitigation_; }
-  const MitigationPolicy& mitigation() const { return mitigation_; }
+  /// Registered tenants, index == id. Empty until the first add_tenant /
+  /// add_owned / mitigation() call.
+  const std::vector<TenantInfo>& tenants() const { return tenants_; }
 
-  /// The most specific owned prefix overlapping `p`, or nullptr. Covers
-  /// both directions: `p` inside an owned prefix (classic / sub-prefix
-  /// hijack) and `p` strictly covering an owned prefix (super-prefix
-  /// announcement that still captures our traffic at some VPs).
-  const OwnedPrefix* match(const net::Prefix& p) const;
+  /// v1-compat accessors: the default (first) tenant's mitigation
+  /// policy, creating the default tenant when none exists yet.
+  MitigationPolicy& mitigation();
+  const MitigationPolicy& mitigation() const;
 
-  /// Loads from the JSON schema documented in README.md:
-  /// {"prefixes":[{"prefix":"10.0.0.0/23","origins":[65001],
-  ///               "neighbors":[174,3356]}],
-  ///  "mitigation":{"deaggregation_floor":24,"reannounce_exact":true,
-  ///                "auto_mitigate":true}}
-  /// Throws json::JsonError / std::invalid_argument on malformed input.
+  /// Freezes the current state into an immutable snapshot (the trie is
+  /// built here). Cold path: reload cost, not per-batch cost.
+  std::shared_ptr<const OwnershipTable> build_table() const;
+
+  /// Loads either schema (v2 when a "tenants" array is present, v1
+  /// otherwise). Throws json::JsonError / std::invalid_argument on
+  /// malformed input.
   static Config from_json(const json::Value& doc);
   static Config from_json_text(std::string_view text);
 
+  /// Serializes: the v1 shape when the config holds only the implicit
+  /// default tenant (byte-compatible with pre-multi-tenant builds, the
+  /// golden-fixture guarantee), the v2 "tenants" shape otherwise.
   json::Value to_json() const;
 
  private:
-  std::vector<OwnedPrefix> owned_;
-  net::PrefixTrie<std::size_t> index_;  ///< prefix -> index into owned_
-  MitigationPolicy mitigation_;
+  /// Ensures tenant 0 exists for the v1-compat entry points.
+  TenantId ensure_default_tenant();
+
+  std::vector<OwnedPrefix> owned_;   ///< flat, tenant-tagged
+  std::vector<TenantInfo> tenants_;  ///< index == id
 };
 
 }  // namespace artemis::core

@@ -2,8 +2,37 @@
 
 namespace artemis::core {
 
+DetectionService::DetectionService(std::shared_ptr<const OwnershipTable> table,
+                                   DetectionOptions options)
+    : table_(std::move(table)), options_(options) {}
+
 DetectionService::DetectionService(const Config& config, DetectionOptions options)
-    : config_(config), options_(options) {}
+    : DetectionService(config.build_table(), options) {}
+
+void DetectionService::set_ownership(std::shared_ptr<const OwnershipTable> table) {
+  table_ = std::move(table);
+  // The prescreen SoA cache self-invalidates (it keys on the table
+  // version); the per-tenant cells need explicit re-registration for
+  // tenants the new snapshot introduced.
+  if (tenant_registry_ != nullptr) set_tenant_metrics(tenant_registry_);
+}
+
+void DetectionService::set_tenant_metrics(telemetry::MetricsRegistry* registry) {
+  tenant_registry_ = registry;
+  tenant_alert_cells_.clear();
+  if (registry == nullptr) return;
+  for (const auto& tenant : table_->tenants()) {
+    std::string labels = "tenant=\"";
+    for (const char c : tenant.name) {
+      if (c == '"' || c == '\\') labels += '\\';
+      labels += c;
+    }
+    labels += '"';
+    tenant_alert_cells_.push_back(
+        registry->counter("artemis_tenant_alerts_total",
+                          "Fresh hijack alerts emitted, per tenant", labels));
+  }
+}
 
 void DetectionService::attach(feeds::MonitorHub& hub) {
   hub.subscribe_batch(
@@ -17,46 +46,53 @@ void DetectionService::on_alert(AlertHandler handler) {
 std::optional<DetectionService::Classification> DetectionService::classify(
     const feeds::Observation& obs) const {
   if (obs.type == feeds::ObservationType::kWithdrawal) return std::nullopt;
-  const OwnedPrefix* owned = config_.match(obs.prefix);
-  if (owned == nullptr) {
+  const OwnershipRef ref = table_->match(obs.prefix);
+  if (!ref) {
     // Outside owned space: only the (optional) RPKI signal applies.
     if (options_.roa_table != nullptr &&
         options_.roa_table->validate(obs.prefix, obs.origin_as()) ==
             rpki::Validity::kInvalid) {
-      // Best effort: no owned match, report the observed prefix as owned.
-      return Classification{HijackType::kRpkiInvalid, obs.prefix, obs.origin_as()};
+      // Best effort: no owned match, report the observed prefix as owned
+      // under the default tenant (origin validation is a shared signal).
+      return Classification{HijackType::kRpkiInvalid, obs.prefix, obs.origin_as(),
+                            kDefaultTenantId};
     }
     return std::nullopt;
   }
+  const OwnedPrefix& owned = table_->entry(ref);
 
   const bgp::Asn origin = obs.origin_as();
-  const bool origin_ok = owned->legitimate_origins.contains(origin);
+  const bool origin_ok = owned.legitimate_origins.contains(origin);
 
-  if (obs.prefix == owned->prefix) {
+  if (obs.prefix == owned.prefix) {
     if (!origin_ok) {
-      return Classification{HijackType::kExactOrigin, owned->prefix, origin};
+      return Classification{HijackType::kExactOrigin, owned.prefix, origin,
+                            ref.tenant};
     }
-  } else if (owned->prefix.covers(obs.prefix)) {
+  } else if (owned.prefix.covers(obs.prefix)) {
     // A more-specific announcement inside our space. Even with our origin
     // it is suspicious (an attacker can forge the origin), but routes we
     // announced ourselves (mitigation sub-prefixes!) must not self-alert:
     // those carry a legitimate origin.
     if (options_.detect_subprefix && !origin_ok) {
-      return Classification{HijackType::kSubPrefix, owned->prefix, origin};
+      return Classification{HijackType::kSubPrefix, owned.prefix, origin,
+                            ref.tenant};
     }
-  } else if (obs.prefix.covers(owned->prefix)) {
+  } else if (obs.prefix.covers(owned.prefix)) {
     if (options_.detect_superprefix && !origin_ok) {
-      return Classification{HijackType::kSuperPrefix, owned->prefix, origin};
+      return Classification{HijackType::kSuperPrefix, owned.prefix, origin,
+                            ref.tenant};
     }
   }
 
   // Origin is fine (or checks disabled); optionally vet the first hop.
   if (options_.detect_fake_first_hop && origin_ok &&
-      !owned->legitimate_neighbors.empty()) {
+      !owned.legitimate_neighbors.empty()) {
     const bgp::Asn adjacent = obs.attrs.as_path.origin_neighbor();
-    if (adjacent != bgp::kNoAsn && !owned->legitimate_neighbors.contains(adjacent) &&
-        !owned->legitimate_origins.contains(adjacent)) {
-      return Classification{HijackType::kFakeFirstHop, owned->prefix, adjacent};
+    if (adjacent != bgp::kNoAsn && !owned.legitimate_neighbors.contains(adjacent) &&
+        !owned.legitimate_origins.contains(adjacent)) {
+      return Classification{HijackType::kFakeFirstHop, owned.prefix, adjacent,
+                            ref.tenant};
     }
   }
   return std::nullopt;
@@ -78,17 +114,18 @@ constexpr std::uint8_t kFamNever = 0xFF;
 bool DetectionService::prescreen(std::span<const feeds::Observation> batch) {
   if (batch.size() < kPrescreenMinBatch) return false;
   if (options_.roa_table != nullptr) return false;  // non-owned is classifiable
-  if (config_.owned().size() > kPrescreenMaxOwned) return false;
+  if (table_->owned().size() > kPrescreenMaxOwned) return false;
 
-  // Snapshot the owned set in SoA word form (rebuilt only when the config
-  // grows — Config is append-only).
-  if (config_.owned().size() != owned_snapshot_count_) {
-    owned_snapshot_count_ = config_.owned().size();
+  // Snapshot the owned set in SoA word form (rebuilt only when the
+  // ownership snapshot itself changed — tables are immutable, so the
+  // version compare is exact, including reloads that keep the count).
+  if (table_->version() != owned_snapshot_version_) {
+    owned_snapshot_version_ = table_->version();
     owned_hi_.clear();
     owned_lo_.clear();
     owned_len_.clear();
     owned_fam_.clear();
-    for (const OwnedPrefix& owned : config_.owned()) {
+    for (const OwnedPrefix& owned : table_->owned()) {
       const auto [hi, lo] = owned.prefix.address().words();
       owned_hi_.push_back(hi);
       owned_lo_.push_back(lo);
@@ -206,7 +243,8 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
 
     // Steady state (already-seen observation): at most one hash find, one
     // string hash for the source's first-seen slot — no heap allocations.
-    const AlertKey key{classified.type, obs.prefix, classified.offender};
+    const AlertKey key{classified.type, obs.prefix, classified.offender,
+                       classified.tenant};
     HijackRecord* record = nullptr;
     bool fresh = false;
     if (last_record != nullptr && key == last_key) {
@@ -235,10 +273,18 @@ void DetectionService::process_batch(std::span<const feeds::Observation> batch) 
           delay_us > 0 ? static_cast<std::uint64_t>(delay_us) : 0u);
     }
 
+    if (classified.tenant < tenant_alert_cells_.size()) {
+      tenant_alert_cells_[classified.tenant]->add();
+    }
+
     // First observation of this hijack: materialize the full alert.
     HijackAlert alert;
     alert.type = classified.type;
     alert.owned_prefix = classified.owned_prefix;
+    alert.tenant = classified.tenant;
+    if (const TenantInfo* info = table_->tenant(classified.tenant)) {
+      alert.tenant_name = info->name;
+    }
     alert.observed_prefix = obs.prefix;
     alert.offender = classified.offender;
     alert.observed_path = obs.attrs.as_path;

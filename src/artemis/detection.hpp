@@ -48,7 +48,24 @@ struct DetectionOptions {
 
 class DetectionService {
  public:
-  DetectionService(const Config& config, DetectionOptions options = {});
+  /// Snapshot-sharing form: shards of one deployment pass the SAME
+  /// immutable table, so a million-prefix config is frozen once, not
+  /// once per shard.
+  explicit DetectionService(std::shared_ptr<const OwnershipTable> table,
+                            DetectionOptions options = {});
+  /// Convenience: freezes `config` privately (tests, single services).
+  explicit DetectionService(const Config& config, DetectionOptions options = {});
+
+  /// Swaps the ownership snapshot — the incremental-reload seam. Must be
+  /// called between process_batch calls (a batch boundary): the caller
+  /// is the single submission thread, or a barrier like
+  /// ShardedDetector::reload that proves no batch is in flight. Alert
+  /// and dedup state survive the swap (a reload is not a restart);
+  /// classification of every later observation uses the new table.
+  void set_ownership(std::shared_ptr<const OwnershipTable> table);
+
+  /// The snapshot currently classifying observations.
+  const OwnershipTable& ownership() const { return *table_; }
 
   /// Wires the service into a hub (subscribes to its batch stream; every
   /// observation from every source flows through process_batch).
@@ -99,6 +116,14 @@ class DetectionService {
     metrics_ = metrics;
   }
 
+  /// Per-tenant alert cells: registers one counter per tenant of the
+  /// current table, labeled with the tenant name, and re-registers on
+  /// every set_ownership so reloaded-in tenants get cells too.
+  /// Registration allocates (registry mutex) — it runs at attach/swap
+  /// time and on the fresh-alert path, never in the steady state. The
+  /// registry must outlive the service.
+  void set_tenant_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   /// A classified violation, POD so the steady-state path never builds a
   /// full HijackAlert (whose path/source members heap-allocate).
@@ -106,6 +131,7 @@ class DetectionService {
     HijackType type = HijackType::kExactOrigin;
     net::Prefix owned_prefix;
     bgp::Asn offender = bgp::kNoAsn;
+    TenantId tenant = kDefaultTenantId;
   };
 
   /// Classifies an observation against config; nullopt if legitimate or
@@ -122,7 +148,10 @@ class DetectionService {
   /// cannot amortize the extraction pass.
   bool prescreen(std::span<const feeds::Observation> batch);
 
-  const Config& config_;
+  /// The immutable ownership snapshot (shared across shards). Swapped
+  /// only at batch boundaries via set_ownership; within one batch every
+  /// classification reads one consistent table.
+  std::shared_ptr<const OwnershipTable> table_;
   DetectionOptions options_;
   std::vector<AlertHandler> handlers_;
   std::vector<HijackAlert> alerts_;
@@ -135,6 +164,10 @@ class DetectionService {
   std::uint64_t processed_ = 0;
   std::uint64_t matched_ = 0;
   telemetry::DetectionCounters metrics_;  ///< null cells = disabled
+  /// Per-tenant alert cells, index == tenant id; rebuilt on snapshot
+  /// swap. Null registry = disabled.
+  telemetry::MetricsRegistry* tenant_registry_ = nullptr;
+  std::vector<telemetry::Counter*> tenant_alert_cells_;
 
   // Prescreen scratch (SoA over the current batch) and the owned-prefix
   // snapshot it compares against. Members, not locals: their capacity
@@ -144,7 +177,9 @@ class DetectionService {
   std::vector<std::uint8_t> scr_rel_;  ///< 1 = may overlap owned space
   std::vector<std::uint64_t> owned_hi_, owned_lo_, owned_len_;
   std::vector<std::uint8_t> owned_fam_;
-  std::size_t owned_snapshot_count_ = static_cast<std::size_t>(-1);
+  /// OwnershipTable::version() the SoA snapshot was built from (0 =
+  /// never built) — one integer compare detects a reload.
+  std::uint64_t owned_snapshot_version_ = 0;
 };
 
 }  // namespace artemis::core

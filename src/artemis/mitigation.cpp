@@ -26,9 +26,17 @@ MitigationPlan plan_mitigation(const net::Prefix& owned, const net::Prefix& obse
   return plan;
 }
 
+MitigationService::MitigationService(std::shared_ptr<const OwnershipTable> table,
+                                     Controller& controller, sim::Simulator& sim)
+    : table_(std::move(table)), controller_(controller), sim_(sim) {}
+
 MitigationService::MitigationService(const Config& config, Controller& controller,
                                      sim::Simulator& sim)
-    : config_(config), controller_(controller), sim_(sim) {}
+    : MitigationService(config.build_table(), controller, sim) {}
+
+void MitigationService::set_ownership(std::shared_ptr<const OwnershipTable> table) {
+  table_ = std::move(table);
+}
 
 void MitigationService::add_helper(Controller& controller) {
   helpers_controllers_.push_back(&controller);
@@ -43,14 +51,16 @@ void MitigationService::on_mitigation(MitigationHandler handler) {
 }
 
 void MitigationService::handle_alert(const HijackAlert& alert) {
-  if (!config_.mitigation().auto_mitigate) return;
+  // The policy of the tenant whose prefix was hijacked, not a global one:
+  // tenants of a shared deployment opt in to auto-mitigation separately.
+  const MitigationPolicy& policy = table_->policy(alert.tenant);
+  if (!policy.auto_mitigate) return;
   const AlertKey key = alert.key();
   if (by_key_.contains(key)) return;  // already being mitigated
 
   MitigationRecord record;
   record.alert = alert;
-  record.plan = plan_mitigation(alert.owned_prefix, alert.observed_prefix,
-                                config_.mitigation());
+  record.plan = plan_mitigation(alert.owned_prefix, alert.observed_prefix, policy);
   record.triggered_at = sim_.now();
   for (const auto& prefix : record.plan.announcements) {
     controller_.announce(prefix);
@@ -60,7 +70,7 @@ void MitigationService::handle_alert(const HijackAlert& alert) {
   // the policy calls for it. For infeasible plans with no announcements,
   // helpers announce the owned prefix itself — competing head-on with the
   // hijacker from (presumably) better-connected positions.
-  const auto outsource_mode = config_.mitigation().outsource;
+  const auto outsource_mode = policy.outsource;
   const bool activate =
       !helpers_controllers_.empty() &&
       (outsource_mode == MitigationPolicy::Outsource::kAlways ||

@@ -50,7 +50,18 @@ using MitigationHandler = std::function<void(const MitigationRecord&)>;
 
 class MitigationService {
  public:
+  /// Snapshot-sharing form: policies are read per-alert from the tenant
+  /// that owns the hijacked prefix (alert.tenant), so a shared deployment
+  /// can auto-mitigate one tenant and alert-only another.
+  MitigationService(std::shared_ptr<const OwnershipTable> table,
+                    Controller& controller, sim::Simulator& sim);
+  /// Convenience: freezes `config` privately.
   MitigationService(const Config& config, Controller& controller, sim::Simulator& sim);
+
+  /// Swaps the ownership snapshot (incremental reload). Mitigation
+  /// records and dedup state survive; alerts raised after the swap use
+  /// the new snapshot's per-tenant policies.
+  void set_ownership(std::shared_ptr<const OwnershipTable> table);
 
   /// Wires the service to a detection service's alerts.
   void attach(DetectionService& detection);
@@ -71,7 +82,7 @@ class MitigationService {
   const std::vector<MitigationRecord>& records() const { return records_; }
 
  private:
-  const Config& config_;
+  std::shared_ptr<const OwnershipTable> table_;
   Controller& controller_;
   sim::Simulator& sim_;
   std::vector<Controller*> helpers_controllers_;

@@ -4,7 +4,16 @@
 
 namespace artemis::core {
 
-MonitoringService::MonitoringService(const Config& config) : config_(config) {}
+MonitoringService::MonitoringService(std::shared_ptr<const OwnershipTable> table)
+    : table_(std::move(table)) {}
+
+MonitoringService::MonitoringService(const Config& config)
+    : MonitoringService(config.build_table()) {}
+
+void MonitoringService::set_ownership(std::shared_ptr<const OwnershipTable> table) {
+  table_ = std::move(table);
+  state_.clear();
+}
 
 void MonitoringService::attach(feeds::MonitorHub& hub) {
   // Batch-native subscription: one handler call AND one memoized lookup
@@ -48,7 +57,8 @@ void MonitoringService::process_one(const feeds::Observation& obs,
   // and for the (typical) non-owned majority the memo also short-circuits
   // the scan.
   if (!cursor.prefix_valid || cursor.prefix != obs.prefix) {
-    cursor.owned = config_.match(obs.prefix);
+    const OwnershipRef ref = table_->match(obs.prefix);
+    cursor.owned = ref ? &table_->entry(ref) : nullptr;
     cursor.prefix = obs.prefix;
     cursor.prefix_valid = true;
   }
@@ -69,8 +79,8 @@ void MonitoringService::process_one(const feeds::Observation& obs,
 
   // Recompute legitimacy for every owned prefix this observation touches
   // (a super-prefix can affect several).
-  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
-    const auto& candidate = config_.owned()[i];
+  for (std::size_t i = 0; i < table_->owned().size(); ++i) {
+    const auto& candidate = table_->owned()[i];
     if (!candidate.prefix.overlaps(obs.prefix)) continue;
     const bool legit = compute_legitimate(view, candidate);
     const auto key = std::make_pair(obs.vantage, i);
@@ -92,8 +102,8 @@ void MonitoringService::process_one(const feeds::Observation& obs,
 
 std::optional<bool> MonitoringService::vantage_legitimate(
     bgp::Asn vantage, const net::Prefix& owned) const {
-  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
-    if (config_.owned()[i].prefix != owned) continue;
+  for (std::size_t i = 0; i < table_->owned().size(); ++i) {
+    if (table_->owned()[i].prefix != owned) continue;
     const auto it = state_.find(std::make_pair(vantage, i));
     if (it == state_.end()) return std::nullopt;
     return it->second;
@@ -104,8 +114,8 @@ std::optional<bool> MonitoringService::vantage_legitimate(
 double MonitoringService::fraction_legitimate(const net::Prefix& owned) const {
   std::size_t with_data = 0;
   std::size_t legit = 0;
-  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
-    if (config_.owned()[i].prefix != owned) continue;
+  for (std::size_t i = 0; i < table_->owned().size(); ++i) {
+    if (table_->owned()[i].prefix != owned) continue;
     for (const auto& [key, value] : state_) {
       if (key.second != i) continue;
       ++with_data;
@@ -123,8 +133,8 @@ bool MonitoringService::all_legitimate(const net::Prefix& owned) const {
 
 std::size_t MonitoringService::vantages_with_data(const net::Prefix& owned) const {
   std::size_t with_data = 0;
-  for (std::size_t i = 0; i < config_.owned().size(); ++i) {
-    if (config_.owned()[i].prefix != owned) continue;
+  for (std::size_t i = 0; i < table_->owned().size(); ++i) {
+    if (table_->owned()[i].prefix != owned) continue;
     for (const auto& [key, value] : state_) {
       if (key.second == i) ++with_data;
     }

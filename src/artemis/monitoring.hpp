@@ -36,7 +36,20 @@ struct VantageChange {
 
 class MonitoringService {
  public:
+  /// Snapshot-sharing form: monitors against the same immutable table the
+  /// detector classifies with.
+  explicit MonitoringService(std::shared_ptr<const OwnershipTable> table);
+  /// Convenience: freezes `config` privately.
   explicit MonitoringService(const Config& config);
+
+  /// Swaps the ownership snapshot (incremental reload; batch-boundary
+  /// only, same contract as DetectionService::set_ownership). The cached
+  /// legitimacy matrix is keyed by owned-entry index, which a reload can
+  /// renumber — it is dropped, so the first post-reload observation
+  /// touching an owned prefix re-emits that vantage's current legitimacy
+  /// as a change event. Vantage RIBs (rebuilt from the feed, not the
+  /// config) survive.
+  void set_ownership(std::shared_ptr<const OwnershipTable> table);
 
   void attach(feeds::MonitorHub& hub);
   void process(const feeds::Observation& obs);
@@ -94,7 +107,7 @@ class MonitoringService {
   std::vector<net::IpAddress> sample_points(const net::Prefix& owned) const;
   bool compute_legitimate(const VantageView& view, const OwnedPrefix& owned) const;
 
-  const Config& config_;
+  std::shared_ptr<const OwnershipTable> table_;
   std::map<bgp::Asn, VantageView> vantages_;
   /// Cached legitimacy per (vantage, owned prefix index).
   std::map<std::pair<bgp::Asn, std::size_t>, bool> state_;

@@ -112,6 +112,16 @@ bool QueryFilter::matches(const feeds::Observation& obs) const {
   const std::int64_t event_us = obs.event_time.as_micros();
   if (event_us < min_event_us || event_us > max_event_us) return false;
   if (prefix.has_value() && !prefix->overlaps(obs.prefix)) return false;
+  if (!any_prefixes.empty()) {
+    bool any = false;
+    for (const auto& candidate : any_prefixes) {
+      if (candidate.overlaps(obs.prefix)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
   if (!source.empty() && obs.source != source) return false;
   if (origin != bgp::kNoAsn && obs.origin_as() != origin) return false;
   if (type.has_value() && obs.type != *type) return false;
@@ -155,6 +165,18 @@ bool SegmentIndex::may_match(const QueryFilter& filter) const {
   if (!filter.source.empty() && !contains_source(filter.source)) return false;
   if (filter.prefix.has_value() && !may_contain_prefix(*filter.prefix)) {
     return false;
+  }
+  if (!filter.any_prefixes.empty()) {
+    // The segment survives if ANY projected prefix might overlap it;
+    // only a filter that rules out every one proves a skip.
+    bool any = false;
+    for (const auto& candidate : filter.any_prefixes) {
+      if (may_contain_prefix(candidate)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
   }
   return true;
 }

@@ -67,6 +67,12 @@ struct QueryFilter {
   /// Overlap predicate: matches records whose prefix covers or is
   /// covered by this one.
   std::optional<net::Prefix> prefix;
+  /// Any-overlap predicate: matches records whose prefix overlaps AT
+  /// LEAST ONE of these (ANDed with every other term, including
+  /// `prefix`). This is the ownership projection — journal_alerts loads
+  /// a config's owned prefixes here so footers prune segments that never
+  /// mention owned space. Empty matches any.
+  std::vector<net::Prefix> any_prefixes;
   /// Exact source name ("mrt:AS1234"); empty matches any.
   std::string source;
   /// Origin AS of the record's path; kNoAsn matches any.
@@ -77,8 +83,8 @@ struct QueryFilter {
   bool is_trivial() const {
     return min_event_us == std::numeric_limits<std::int64_t>::min() &&
            max_event_us == std::numeric_limits<std::int64_t>::max() &&
-           !prefix.has_value() && source.empty() && origin == bgp::kNoAsn &&
-           !type.has_value();
+           !prefix.has_value() && any_prefixes.empty() && source.empty() &&
+           origin == bgp::kNoAsn && !type.has_value();
   }
 
   /// The record-level test (exact, no false positives).

@@ -20,10 +20,17 @@ constexpr std::uint8_t kAttrMpReach = 14;
 constexpr std::uint8_t kAttrMpUnreach = 15;
 constexpr std::uint8_t kAttrAs4Path = 17;
 
-// RFC 4760 AFI / SAFI values for the unicast families we model.
+// RFC 4760 AFI / SAFI values for the families we model.
 constexpr std::uint16_t kAfiIpv4 = 1;
 constexpr std::uint16_t kAfiIpv6 = 2;
 constexpr std::uint8_t kSafiUnicast = 1;
+constexpr std::uint8_t kSafiMplsVpn = 128;  ///< labeled VPN (RFC 4364)
+
+// RFC 8277 label-stack entries are 24 bits: label(20) | TC(3) | BoS(1).
+// A withdraw carries the compat value 0x800000 instead of a real stack.
+constexpr std::uint32_t kVpnWithdrawLabel = 0x800000;
+constexpr int kVpnLabelBits = 24;
+constexpr int kVpnRdBits = 64;  ///< route distinguisher (RFC 4364 §4.2)
 
 // Attribute flag bits.
 constexpr std::uint8_t kFlagOptional = 0x80;
@@ -46,20 +53,46 @@ void write_attr_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
   }
 }
 
-std::size_t nlri_bytes(std::span<const net::Prefix> prefixes) {
+std::size_t nlri_bytes(std::span<const net::Prefix> prefixes, bool labeled) {
+  // A labeled NLRI (RFC 8277) spends 3 label + 8 RD bytes before the
+  // prefix; the length byte counts those bits too.
   std::size_t total = 0;
-  for (const auto& p : prefixes) total += 1 + static_cast<std::size_t>((p.length() + 7) / 8);
+  for (const auto& p : prefixes) {
+    total += 1 + static_cast<std::size_t>((p.length() + 7) / 8) + (labeled ? 11 : 0);
+  }
   return total;
 }
 
+/// One SAFI 128 NLRI: length counts label + RD + prefix bits; a one-entry
+/// label stack, a zero RD, then the prefix bytes.
+void write_labeled_nlri_prefix(ByteWriter& w, const net::Prefix& p,
+                               std::uint32_t label_entry) {
+  w.u8(static_cast<std::uint8_t>(kVpnLabelBits + kVpnRdBits + p.length()));
+  w.u8(static_cast<std::uint8_t>((label_entry >> 16) & 0xFF));
+  w.u8(static_cast<std::uint8_t>((label_entry >> 8) & 0xFF));
+  w.u8(static_cast<std::uint8_t>(label_entry & 0xFF));
+  for (int i = 0; i < kVpnRdBits / 8; ++i) w.u8(0);  // RD 0:0 (fixtures)
+  const int nbytes = (p.length() + 7) / 8;
+  w.bytes(std::span(p.address().bytes().data(), static_cast<std::size_t>(nbytes)));
+}
+
 /// MP_UNREACH_NLRI (RFC 4760 §4): AFI, SAFI, withdrawn v6 NLRI. The only
-/// attribute of a v6-withdraw-only update.
-void write_mp_unreach(ByteWriter& w, std::span<const net::Prefix> withdrawn) {
+/// attribute of a v6-withdraw-only update. With mp_labeled_vpn the SAFI
+/// is 128 and each NLRI leads with the 0x800000 withdraw-compat label.
+void write_mp_unreach(ByteWriter& w, std::span<const net::Prefix> withdrawn,
+                      const UpdateEncodeOptions& options) {
+  const bool labeled = options.mp_labeled_vpn;
   write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional),
-                    kAttrMpUnreach, 3 + nlri_bytes(withdrawn));
+                    kAttrMpUnreach, 3 + nlri_bytes(withdrawn, labeled));
   w.u16(kAfiIpv6);
-  w.u8(kSafiUnicast);
-  for (const auto& p : withdrawn) write_nlri_prefix(w, p);
+  w.u8(labeled ? kSafiMplsVpn : kSafiUnicast);
+  for (const auto& p : withdrawn) {
+    if (labeled) {
+      write_labeled_nlri_prefix(w, p, kVpnWithdrawLabel);
+    } else {
+      write_nlri_prefix(w, p);
+    }
+  }
 }
 
 /// Shared by the AS4 and pre-AS4 encoders: `two_byte_as_path` writes
@@ -122,18 +155,32 @@ void encode_attrs(ByteWriter& w, const bgp::PathAttributes& attrs,
     for (const auto asn : hops) w.u32(asn);
   }
   // MP_REACH_NLRI (RFC 4760 §3): AFI, SAFI, next hop, reserved, v6 NLRI.
+  // Labeled VPN (SAFI 128) prepends an 8-byte RD to the next hop and a
+  // label stack + RD to each NLRI.
   if (!mp_announced.empty()) {
-    const auto nh_len = static_cast<std::size_t>(options.mp_next_hop_len);
+    const bool labeled = options.mp_labeled_vpn;
+    // Labeled: every 16-byte v6 next hop gains its own 8-byte RD, so the
+    // global-only form is 24 and the global+link-local form is 48.
+    const auto nh_len = static_cast<std::size_t>(
+        labeled ? (options.mp_next_hop_len == 32 ? 48 : 24)
+                : options.mp_next_hop_len);
     write_attr_header(w, static_cast<std::uint8_t>(kFlagOptional), kAttrMpReach,
-                      5 + nh_len + nlri_bytes(mp_announced));
+                      5 + nh_len + nlri_bytes(mp_announced, labeled));
     w.u16(kAfiIpv6);
-    w.u8(kSafiUnicast);
+    w.u8(labeled ? kSafiMplsVpn : kSafiUnicast);
     w.u8(static_cast<std::uint8_t>(nh_len));
     for (std::size_t i = 0; i < nh_len; ++i) w.u8(0);  // next hop: not modeled
     w.u8(0);  // reserved
-    for (const auto& p : mp_announced) write_nlri_prefix(w, p);
+    for (const auto& p : mp_announced) {
+      if (labeled) {
+        // label(20) | TC(3)=0 | bottom-of-stack.
+        write_labeled_nlri_prefix(w, p, ((options.mp_vpn_label & 0xFFFFF) << 4) | 0x1);
+      } else {
+        write_nlri_prefix(w, p);
+      }
+    }
   }
-  if (!mp_withdrawn.empty()) write_mp_unreach(w, mp_withdrawn);
+  if (!mp_withdrawn.empty()) write_mp_unreach(w, mp_withdrawn, options);
 }
 
 }  // namespace
@@ -160,15 +207,55 @@ void encode_path_attributes(ByteWriter& w, const bgp::PathAttributes& attrs) {
 
 namespace {
 
-/// Reads the shared AFI/SAFI prelude of an MP attribute; returns the NLRI
-/// family. Anything but v4/v6 unicast is a shape we do not model.
-net::IpFamily read_mp_family(ByteReader& body, const char* attr_name) {
+/// The decoded AFI/SAFI prelude of an MP attribute.
+struct MpFamily {
+  net::IpFamily family;
+  bool labeled;  ///< SAFI 128: NLRI carry a label stack + RD prefix
+};
+
+/// Reads the shared AFI/SAFI prelude of an MP attribute. Anything but
+/// v4/v6 unicast or labeled VPN is a shape we do not model.
+MpFamily read_mp_family(ByteReader& body, const char* attr_name) {
   const std::uint16_t afi = body.u16();
   const std::uint8_t safi = body.u8();
-  if ((afi != kAfiIpv4 && afi != kAfiIpv6) || safi != kSafiUnicast) {
+  if ((afi != kAfiIpv4 && afi != kAfiIpv6) ||
+      (safi != kSafiUnicast && safi != kSafiMplsVpn)) {
     throw UnsupportedRecord(std::string("unsupported ") + attr_name + " AFI/SAFI");
   }
-  return afi == kAfiIpv4 ? net::IpFamily::kIpv4 : net::IpFamily::kIpv6;
+  return {afi == kAfiIpv4 ? net::IpFamily::kIpv4 : net::IpFamily::kIpv6,
+          safi == kSafiMplsVpn};
+}
+
+/// Reads one SAFI 128 NLRI (RFC 8277 §2): the length byte counts the
+/// label stack, the route distinguisher, AND the prefix bits. The label
+/// stack is skipped entry by entry until the bottom-of-stack bit (or the
+/// withdraw-compat 0x800000 value, which has BoS clear); the RD is
+/// skipped whole. Only the bare prefix survives — this AS-level model
+/// has no VRFs, and a VPN hijack of owned space is still a hijack of the
+/// prefix.
+net::Prefix read_labeled_nlri_prefix(ByteReader& r, net::IpFamily family) {
+  int bits = r.u8();
+  for (;;) {
+    if (bits < kVpnLabelBits) {
+      throw DecodeError("labeled NLRI shorter than a label-stack entry");
+    }
+    std::uint32_t entry = static_cast<std::uint32_t>(r.u8()) << 16;
+    entry |= static_cast<std::uint32_t>(r.u8()) << 8;
+    entry |= r.u8();
+    bits -= kVpnLabelBits;
+    if ((entry & 0x1) != 0 || entry == kVpnWithdrawLabel) break;
+  }
+  if (bits < kVpnRdBits) {
+    throw DecodeError("labeled NLRI shorter than a route distinguisher");
+  }
+  r.bytes(kVpnRdBits / 8);  // route distinguisher: not modeled
+  bits -= kVpnRdBits;
+  if (bits > family_bits(family)) throw DecodeError("NLRI prefix length out of range");
+  const int nbytes = (bits + 7) / 8;
+  std::uint8_t buf[16] = {};
+  const auto raw = r.bytes(static_cast<std::size_t>(nbytes));
+  std::memcpy(buf, raw.data(), raw.size());
+  return net::Prefix(net::IpAddress::from_bytes(family, buf), bits);
 }
 
 }  // namespace
@@ -229,24 +316,39 @@ void decode_path_attributes_into(ByteReader& attrs_reader, bgp::PathAttributes& 
         // abbreviates this attribute to a bare next hop) skip it whole —
         // body was fully consumed by sub() above.
         if (mp == nullptr) break;
-        const net::IpFamily family = read_mp_family(body, "MP_REACH_NLRI");
+        const MpFamily fam = read_mp_family(body, "MP_REACH_NLRI");
         const std::uint8_t nh_len = body.u8();
-        // v4: 4, or 16/32 for v4-NLRI-over-v6-next-hop (RFC 8950 — the
-        // next hop is discarded unmodeled, the NLRI is ordinary v4
-        // unicast). v6: 16, or 32 with the link-local slot.
-        const bool nh_ok = family == net::IpFamily::kIpv4
+        // Unicast v4: 4, or 16/32 for v4-NLRI-over-v6-next-hop (RFC 8950
+        // — the next hop is discarded unmodeled, the NLRI is ordinary v4
+        // unicast). Unicast v6: 16, or 32 with the link-local slot.
+        // Labeled VPN prepends the 8-byte RD to each next hop
+        // (RFC 4364 §4.3.2 / RFC 4659 §3.2.1): v4 12, or 24 over a v6
+        // next hop; v6 24, or 48 with the link-local slot.
+        const bool nh_ok =
+            fam.labeled ? (fam.family == net::IpFamily::kIpv4
+                               ? (nh_len == 12 || nh_len == 24)
+                               : (nh_len == 24 || nh_len == 48))
+                        : (fam.family == net::IpFamily::kIpv4
                                ? (nh_len == 4 || nh_len == 16 || nh_len == 32)
-                               : (nh_len == 16 || nh_len == 32);
+                               : (nh_len == 16 || nh_len == 32));
         if (!nh_ok) throw DecodeError("bad MP_REACH_NLRI next-hop length");
         body.bytes(nh_len);  // next hop(s): not modeled
         body.u8();           // reserved
-        while (!body.done()) mp->announced.push_back(read_nlri_prefix(body, family));
+        while (!body.done()) {
+          mp->announced.push_back(fam.labeled
+                                      ? read_labeled_nlri_prefix(body, fam.family)
+                                      : read_nlri_prefix(body, fam.family));
+        }
         break;
       }
       case kAttrMpUnreach: {
         if (mp == nullptr) break;
-        const net::IpFamily family = read_mp_family(body, "MP_UNREACH_NLRI");
-        while (!body.done()) mp->withdrawn.push_back(read_nlri_prefix(body, family));
+        const MpFamily fam = read_mp_family(body, "MP_UNREACH_NLRI");
+        while (!body.done()) {
+          mp->withdrawn.push_back(fam.labeled
+                                      ? read_labeled_nlri_prefix(body, fam.family)
+                                      : read_nlri_prefix(body, fam.family));
+        }
         break;
       }
       case kAttrMed:
@@ -327,7 +429,7 @@ std::vector<std::uint8_t> encode_bgp_update_impl(const bgp::UpdateMessage& updat
     encode_attrs(w, update.attrs, two_byte_as_path, v6_announced, v6_withdrawn,
                  options);
   } else if (!v6_withdrawn.empty()) {
-    write_mp_unreach(w, v6_withdrawn);
+    write_mp_unreach(w, v6_withdrawn, options);
   }
   w.patch_u16(attrs_slot, static_cast<std::uint16_t>(w.size() - attrs_start));
   // Classic NLRI (v4 only).

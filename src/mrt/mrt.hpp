@@ -8,7 +8,9 @@
 //   * BGP4MP_ET / BGP4MP_MESSAGE_AS4 carrying a BGP UPDATE (IPv4 unicast
 //     NLRI; attributes ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF,
 //     COMMUNITY, and MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760) for the
-//     IPv6 unicast NLRI real dual-stack collectors emit)
+//     IPv6 unicast NLRI real dual-stack collectors emit, plus SAFI 128
+//     labeled-VPN NLRI (RFC 8277) whose label stack and route
+//     distinguisher are stripped back to the bare prefix)
 //   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST + RIB_IPV6_UNICAST with an inline
 //     peer index
 // The BatchFeed uses these files verbatim; bench_micro measures codec
@@ -50,7 +52,7 @@ inline constexpr bgp::Asn kAsTrans = 23456;
 
 /// Thrown for record shapes this implementation recognizes but does not
 /// model (an AS_SET path segment, an MP AFI/SAFI other than v4/v6
-/// unicast). Derives from DecodeError so legacy callers keep their
+/// unicast or labeled VPN). Derives from DecodeError so legacy callers keep their
 /// fail-the-stream behavior; the streaming importer catches it first and
 /// skips just the offending record (ConvertFileStats::skipped_records).
 class UnsupportedRecord : public DecodeError {
@@ -91,6 +93,14 @@ struct UpdateEncodeOptions {
   /// this implementation recognizes but does not model — decoding it
   /// throws UnsupportedRecord). AS4_PATH emission is suppressed.
   bool as_set_path = false;
+  /// Encode the MP attributes as SAFI 128 labeled VPN (RFC 4364 /
+  /// RFC 8277): each NLRI gains a one-entry label stack (bottom-of-stack
+  /// set; MP_UNREACH uses the 0x800000 withdraw-compat value) and a zero
+  /// route distinguisher, and the next hop grows the 8-byte RD prefix
+  /// VPN speakers write. Decode strips all of it back to the bare prefix.
+  bool mp_labeled_vpn = false;
+  /// The 20-bit MPLS label announced NLRI carry with mp_labeled_vpn.
+  std::uint32_t mp_vpn_label = 1000;
 };
 
 /// Encodes one BGP4MP_ET/MESSAGE_AS4 record (header + body). IPv4

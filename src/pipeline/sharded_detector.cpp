@@ -11,9 +11,9 @@
 
 namespace artemis::pipeline {
 
-ShardedDetector::Shard::Shard(const core::Config& config,
+ShardedDetector::Shard::Shard(std::shared_ptr<const core::OwnershipTable> table,
                               const ShardedDetectorOptions& options)
-    : service(config, options.detection) {
+    : service(std::move(table), options.detection) {
   if (options.threaded) {
     // queue_capacity is an observation budget; the ring holds it as
     // drain_batch-sized slots.
@@ -24,23 +24,26 @@ ShardedDetector::Shard::Shard(const core::Config& config,
   }
 }
 
-ShardedDetector::ShardedDetector(const core::Config& config,
+ShardedDetector::ShardedDetector(std::shared_ptr<const core::OwnershipTable> table,
                                  ShardedDetectorOptions options)
     : options_(options) {
   if (options_.shards == 0) options_.shards = 1;
   if (options_.drain_batch == 0) options_.drain_batch = 1;
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config, options_));
+    shards_.push_back(std::make_unique<Shard>(table, options_));
   }
   if (options_.metrics != nullptr) {
     // One cell bundle per shard: private cache lines on the hot path,
     // merged on read by the registry — the same shape as the detector's
     // own merged-on-read stats. Registered before workers start, so the
     // cells are immutable wiring by the time any thread runs.
+    // (Per-tenant cells are the exception: set_ownership re-registers
+    // them at reload time, which is a drained quiescent point.)
     metrics_ = telemetry::register_pipeline(*options_.metrics);
     for (auto& shard : shards_) {
       shard->service.set_metrics(telemetry::register_detection(*options_.metrics));
+      shard->service.set_tenant_metrics(options_.metrics);
       if (shard->ring != nullptr) {
         shard->ring->set_metrics(telemetry::register_ring(*options_.metrics));
       }
@@ -53,6 +56,10 @@ ShardedDetector::ShardedDetector(const core::Config& config,
     }
   }
 }
+
+ShardedDetector::ShardedDetector(const core::Config& config,
+                                 ShardedDetectorOptions options)
+    : ShardedDetector(config.build_table(), options) {}
 
 ShardedDetector::~ShardedDetector() { stop(); }
 
@@ -202,6 +209,20 @@ void ShardedDetector::flush() {
   if (stalled && metrics_.flush_stalls != nullptr) metrics_.flush_stalls->add();
 }
 
+void ShardedDetector::reload(std::shared_ptr<const core::OwnershipTable> table) {
+  if (table == nullptr) {
+    throw std::invalid_argument("ShardedDetector::reload: null table");
+  }
+  // flush() is the whole synchronization story: producer-thread guard,
+  // publish staged partials, wait per shard for drained == pushed. Once
+  // it returns, every worker has finished its last batch (its `drained`
+  // release is our acquire) and is parked in take(), so each shard's
+  // service is quiescent and the swap is a plain producer-side write.
+  // The next ring publish (release) hands workers the new table.
+  flush();
+  for (auto& shard : shards_) shard->service.set_ownership(table);
+}
+
 void ShardedDetector::stop() {
   if (stopped_) return;
   stopped_ = true;
@@ -247,9 +268,9 @@ std::vector<core::HijackAlert> ShardedDetector::merged_alerts() const {
   std::sort(out.begin(), out.end(),
             [](const core::HijackAlert& a, const core::HijackAlert& b) {
               return std::tuple(a.detected_at.as_micros(), a.type,
-                                a.observed_prefix, a.offender) <
+                                a.observed_prefix, a.offender, a.tenant) <
                      std::tuple(b.detected_at.as_micros(), b.type,
-                                b.observed_prefix, b.offender);
+                                b.observed_prefix, b.offender, b.tenant);
             });
   return out;
 }

@@ -3,7 +3,8 @@
 //
 // Partitioning key: the observed prefix. Every alert key the detection
 // service can produce uses the observed prefix as its prefix component
-// (AlertKey{type, observed_prefix, offender}), so routing observations by
+// (AlertKey{type, observed_prefix, offender, tenant}), so routing
+// observations by
 // hash(observed prefix) guarantees that all observations of one hijack —
 // and therefore its dedup record, counters and per-source first-seen
 // times — live in exactly one shard. Per-shard state is never shared;
@@ -87,6 +88,12 @@ struct ShardedDetectorOptions {
 
 class ShardedDetector {
  public:
+  /// Snapshot-sharing form: all shards reference the SAME immutable
+  /// ownership table — a million-prefix config is frozen once, not once
+  /// per shard.
+  explicit ShardedDetector(std::shared_ptr<const core::OwnershipTable> table,
+                           ShardedDetectorOptions options = {});
+  /// Convenience: freezes `config` once, then shares the snapshot.
   explicit ShardedDetector(const core::Config& config,
                            ShardedDetectorOptions options = {});
   ~ShardedDetector();
@@ -123,6 +130,25 @@ class ShardedDetector {
   /// the first submit throws std::logic_error.
   void flush();
 
+  /// Incremental reload: swaps every shard onto `table` without
+  /// restarting workers, dropping observations, or touching alert/dedup
+  /// state. Producer-thread-only, like flush(): it drains in-flight
+  /// batches first (publish staged partials, wait per shard for
+  /// drained == pushed), so the swap lands on a batch boundary in every
+  /// shard. Ordering needs no new atomics: the worker's last
+  /// process_batch happens-before its `drained` release, our acquire in
+  /// the drain wait happens-before the table swap, and the swap
+  /// happens-before the next ring publish (release) the worker's take()
+  /// acquires. Observations submitted before reload() are classified
+  /// under the old table, everything after under the new one —
+  /// deterministically, at any shard count.
+  void reload(std::shared_ptr<const core::OwnershipTable> table);
+
+  /// The ownership snapshot shards currently classify against.
+  const core::OwnershipTable& ownership() const {
+    return shards_.front()->service.ownership();
+  }
+
   /// Drains outstanding work (staged and in-flight) and joins the
   /// workers. Idempotent; called by the destructor. No submissions may
   /// follow.
@@ -151,7 +177,8 @@ class ShardedDetector {
 
  private:
   struct Shard {
-    Shard(const core::Config& config, const ShardedDetectorOptions& options);
+    Shard(std::shared_ptr<const core::OwnershipTable> table,
+          const ShardedDetectorOptions& options);
     core::DetectionService service;
     std::unique_ptr<BatchRing> ring;         ///< threaded only
     ObservationBatch* staging = nullptr;     ///< producer-side partial batch

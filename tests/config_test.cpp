@@ -73,21 +73,21 @@ TEST(ConfigTest, ToJsonRoundTrip) {
 }
 
 TEST(ConfigTest, MatchExactAndMoreSpecific) {
-  const auto config = Config::from_json_text(kSampleConfig);
-  const auto* exact = config.match(net::Prefix::must_parse("10.0.0.0/23"));
-  ASSERT_NE(exact, nullptr);
-  EXPECT_EQ(exact->prefix.to_string(), "10.0.0.0/23");
-  const auto* sub = config.match(net::Prefix::must_parse("10.0.1.0/24"));
-  ASSERT_NE(sub, nullptr);
-  EXPECT_EQ(sub->prefix.to_string(), "10.0.0.0/23");
-  EXPECT_EQ(config.match(net::Prefix::must_parse("10.2.0.0/24")), nullptr);
+  const auto table = Config::from_json_text(kSampleConfig).build_table();
+  const auto exact = table->match(net::Prefix::must_parse("10.0.0.0/23"));
+  ASSERT_TRUE(exact);
+  EXPECT_EQ(table->entry(exact).prefix.to_string(), "10.0.0.0/23");
+  const auto sub = table->match(net::Prefix::must_parse("10.0.1.0/24"));
+  ASSERT_TRUE(sub);
+  EXPECT_EQ(table->entry(sub).prefix.to_string(), "10.0.0.0/23");
+  EXPECT_FALSE(table->match(net::Prefix::must_parse("10.2.0.0/24")));
 }
 
 TEST(ConfigTest, MatchSuperPrefix) {
-  const auto config = Config::from_json_text(kSampleConfig);
-  const auto* super = config.match(net::Prefix::must_parse("10.0.0.0/16"));
-  ASSERT_NE(super, nullptr);
-  EXPECT_EQ(super->prefix.to_string(), "10.0.0.0/23");
+  const auto table = Config::from_json_text(kSampleConfig).build_table();
+  const auto super = table->match(net::Prefix::must_parse("10.0.0.0/16"));
+  ASSERT_TRUE(super);
+  EXPECT_EQ(table->entry(super).prefix.to_string(), "10.0.0.0/23");
 }
 
 TEST(ConfigTest, MatchPrefersMostSpecificOwned) {
@@ -100,9 +100,10 @@ TEST(ConfigTest, MatchPrefersMostSpecificOwned) {
   small.prefix = net::Prefix::must_parse("10.0.0.0/23");
   small.legitimate_origins.insert(2);
   config.add_owned(small);
-  const auto* hit = config.match(net::Prefix::must_parse("10.0.0.0/24"));
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->prefix.to_string(), "10.0.0.0/23");
+  const auto table = config.build_table();
+  const auto hit = table->match(net::Prefix::must_parse("10.0.0.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(table->entry(hit).prefix.to_string(), "10.0.0.0/23");
 }
 
 TEST(ConfigTest, AddOwnedValidatesOrigins) {

@@ -170,6 +170,44 @@ TEST(DetectionAllocTest, SteadyStateProcessBatchIsAllocationFree) {
   EXPECT_EQ(detector.observations_processed(), 9u * 10001u);
 }
 
+TEST(DetectionAllocTest, OwnershipSwapKeepsSteadyStateAllocationFree) {
+  // The incremental-reload contract: building the new table allocates
+  // (cold path, outside the measured window), but the swap itself —
+  // set_ownership — and every batch processed after it stay allocation-
+  // free. A reload must not tax the hot path it slides under.
+  Config config;
+  OwnedPrefix owned;
+  owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+  owned.legitimate_origins.insert(65001);
+  config.add_owned(std::move(owned));
+  DetectionService detector(config);
+
+  std::vector<feeds::Observation> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  }
+  batch.push_back(make_obs("10.0.1.0/24", {9, 666}, "ris-live", 101));
+  batch.push_back(make_obs("203.0.113.0/24", {9, 666}, "ris-live", 102));
+  detector.process_batch(batch);  // prime records and scratch capacity
+  ASSERT_EQ(detector.alerts().size(), 2u);
+
+  // Cold: freeze the replacement snapshot (same logical config, so the
+  // post-swap stream dedups against the surviving records).
+  auto replacement = config.build_table();
+  const auto replacement_version = replacement->version();
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  detector.set_ownership(std::move(replacement));
+  for (int i = 0; i < 10000; ++i) detector.process_batch(batch);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "ownership swap or post-swap steady state allocated";
+
+  EXPECT_EQ(detector.ownership().version(), replacement_version);
+  EXPECT_EQ(detector.alerts().size(), 2u);  // dedup state survived the swap
+  EXPECT_EQ(detector.observation_count(detector.alerts()[0].key()), 4u * 10001u);
+}
+
 TEST(DetectionAllocTest, SteadyStateHubBatchFanOutIsAllocationFree) {
   Config config;
   OwnedPrefix owned;

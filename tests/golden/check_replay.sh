@@ -87,4 +87,27 @@ grep -q 'scanned 0/1 segment(s) (1 skipped via index)' "$tmp/query_stats.txt" ||
   echo "FAIL: footer did not prune the segment:"; cat "$tmp/query_stats.txt"; exit 1; }
 echo "ok: journal_query matches the golden output and footers prune"
 
+# 6. journal_alerts projects the ownership table into the read filter:
+# the golden replay reports its scan counters (and still reproduces the
+# golden alerts — the projection is alert-preserving), and ownership of
+# space the footer proves absent skips the (only) segment without
+# decoding a single record.
+"$BUILD_DIR/journal_alerts" --journal "$GOLD_DIR/journal" "${OWNED[@]}" \
+  > "$tmp/alerts_pruned.txt" 2> "$tmp/alerts_pruned_stats.txt"
+diff "$GOLD_DIR/alerts.txt" "$tmp/alerts_pruned.txt"
+grep -q 'index: scanned 1/1 segment(s) (0 skipped via index); 15 record(s) decoded' \
+  "$tmp/alerts_pruned_stats.txt" || {
+  echo "FAIL: ownership projection did not report scan counters:";
+  cat "$tmp/alerts_pruned_stats.txt"; exit 1; }
+"$BUILD_DIR/journal_alerts" --journal "$GOLD_DIR/journal" \
+  --owned 172.16.0.0/24=65009 > "$tmp/alerts_absent.txt" \
+  2> "$tmp/alerts_absent_stats.txt"
+grep -q 'index: scanned 0/1 segment(s) (1 skipped via index); 0 record(s) decoded' \
+  "$tmp/alerts_absent_stats.txt" || {
+  echo "FAIL: ownership projection did not prune the segment:";
+  cat "$tmp/alerts_absent_stats.txt"; exit 1; }
+[ -s "$tmp/alerts_absent.txt" ] && {
+  echo "FAIL: pruned replay produced alerts:"; cat "$tmp/alerts_absent.txt"; exit 1; }
+echo "ok: journal_alerts ownership projection prunes via footers"
+
 echo "replay-determinism gate passed"

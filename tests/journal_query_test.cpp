@@ -340,6 +340,69 @@ TEST(QuerySkipTest, SkipPreservesSequenceGapDetection) {
   EXPECT_THROW(read_filtered(dir, filter), JournalError);
 }
 
+// ------------------------------------------- ownership projection term
+
+TEST(AnyPrefixesTest, RecordTermMatchesAnyOverlapAndAndsWithOtherTerms) {
+  QueryFilter filter;
+  filter.any_prefixes.push_back(net::Prefix::must_parse("10.1.0.0/16"));
+  filter.any_prefixes.push_back(net::Prefix::must_parse("192.0.2.0/24"));
+  EXPECT_FALSE(filter.is_trivial());
+
+  // Overlap with AT LEAST ONE candidate: covered, covering, or exact.
+  EXPECT_TRUE(filter.matches(make_obs("10.1.2.0/24", 666, "s", 1000.0)));
+  EXPECT_TRUE(filter.matches(make_obs("10.0.0.0/8", 666, "s", 1000.0)));
+  EXPECT_TRUE(filter.matches(make_obs("192.0.2.128/25", 666, "s", 1000.0)));
+  // No candidate overlaps: the record is filtered out.
+  EXPECT_FALSE(filter.matches(make_obs("10.2.0.0/16", 666, "s", 1000.0)));
+  EXPECT_FALSE(filter.matches(make_obs("198.51.100.0/24", 666, "s", 1000.0)));
+
+  // ANDed with every other term, not ORed: a type term still applies to
+  // records that pass the any-overlap test.
+  filter.type = feeds::ObservationType::kWithdrawal;
+  EXPECT_FALSE(filter.matches(make_obs("10.1.2.0/24", 666, "s", 1000.0)));
+  EXPECT_TRUE(filter.matches(make_obs("10.1.2.0/24", 666, "s", 1000.0,
+                                      feeds::ObservationType::kWithdrawal)));
+}
+
+TEST(AnyPrefixesTest, FooterPrunesSegmentsNoCandidateCanTouch) {
+  const std::string dir = make_temp_dir("anyprefix");
+  // Three single-batch segments in DISJOINT first-rung space, so the
+  // Bloom ladder can separate them (a shared /8 answers "maybe"
+  // everywhere, by design — see BloomAnswersOverlapNotEquality).
+  std::vector<std::vector<feeds::Observation>> batches(3);
+  batches[0].push_back(make_obs("20.1.0.0/16", 65001, "s", 1000.0));
+  batches[0].push_back(make_obs("20.1.2.0/24", 666, "s", 1001.0));
+  batches[1].push_back(make_obs("30.1.0.0/16", 65001, "s", 1002.0));
+  batches[2].push_back(make_obs("40.1.0.0/16", 65001, "s", 1003.0));
+  batches[2].push_back(make_obs("40.9.9.0/24", 666, "s", 1004.0));
+  write_batches(dir, batches);
+
+  // Candidates touching segments 0 and 2: segment 1 is the only one
+  // every candidate provably misses, so it alone is skipped.
+  QueryFilter filter;
+  filter.any_prefixes.push_back(net::Prefix::must_parse("20.1.2.0/24"));
+  filter.any_prefixes.push_back(net::Prefix::must_parse("40.0.0.0/12"));
+  std::uint64_t scanned = 0;
+  std::uint64_t skipped = 0;
+  const auto matches = read_filtered(dir, filter, &scanned, &skipped);
+  EXPECT_EQ(scanned, 2u);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(matches.size(), 4u);
+  for (const auto& obs : matches) {
+    EXPECT_NE(obs.prefix.to_string().substr(0, 3), "30.")
+        << "segment 1's records must not leak through the record filter";
+  }
+
+  // Ownership of space no footer can contain skips EVERY segment
+  // without decoding a record (the journal_alerts --owned projection).
+  QueryFilter absent;
+  absent.any_prefixes.push_back(net::Prefix::must_parse("172.16.0.0/16"));
+  const auto none = read_filtered(dir, absent, &scanned, &skipped);
+  EXPECT_EQ(scanned, 0u);
+  EXPECT_EQ(skipped, 3u);
+  EXPECT_TRUE(none.empty());
+}
+
 // ------------------------------------------------- compressed replay
 
 #ifdef ARTEMIS_HAVE_ZLIB

@@ -640,6 +640,132 @@ TEST(MpNlriCodecTest, MpAttributesSkippedWithoutScratch) {
   EXPECT_TRUE(attrs.as_path.empty());
 }
 
+// ------------------------------------------------- SAFI 128 labeled VPN
+
+TEST(LabeledVpnCodecTest, RoundTripsThroughLabeledEncoding) {
+  // The labeled-VPN wire shape (SAFI 128, label stack + RD on every
+  // NLRI, RD-prefixed next hops) must decode back to the bare prefixes —
+  // at both next-hop widths.
+  for (const int nh : {16, 32}) {
+    UpdateEncodeOptions options;
+    options.mp_labeled_vpn = true;
+    options.mp_next_hop_len = nh;
+    const auto original = dual_stack_update();
+    const auto bytes = encode_bgp_update(original, options);
+    ByteReader r(bytes);
+    const auto decoded = decode_bgp_update(r, original.sender);
+    EXPECT_TRUE(r.done()) << "nh=" << nh;
+    EXPECT_EQ(decoded.announced, original.announced) << "nh=" << nh;
+    EXPECT_EQ(decoded.withdrawn, original.withdrawn) << "nh=" << nh;
+    EXPECT_EQ(decoded.attrs.as_path, original.attrs.as_path) << "nh=" << nh;
+  }
+}
+
+TEST(LabeledVpnCodecTest, V4HandCraftedStackSkipsToThePrefix) {
+  // VPN-IPv4 (AFI 1 / SAFI 128) with a TWO-entry label stack: only the
+  // second entry has the bottom-of-stack bit, so the decoder must walk
+  // the stack, then skip the RD, and surface the bare /24.
+  ByteWriter w;
+  w.u8(0x80);  // optional
+  w.u8(14);    // MP_REACH_NLRI
+  w.u8(3 + 1 + 12 + 1 + 1 + 6 + 8 + 3);  // prelude..NLRI
+  w.u16(1);    // AFI: IPv4
+  w.u8(128);   // SAFI: labeled VPN
+  w.u8(12);    // next-hop length: RD + v4
+  for (int i = 0; i < 12; ++i) w.u8(0x0A);
+  w.u8(0);           // reserved
+  w.u8(48 + 64 + 24);  // NLRI bits: two labels + RD + /24
+  w.u8(0x00); w.u8(0x10); w.u8(0x00);  // label 256, BoS clear
+  w.u8(0x00); w.u8(0x10); w.u8(0x11);  // label 257, BoS set
+  for (int i = 0; i < 8; ++i) w.u8(0xBB);  // RD 48059:…, not modeled
+  w.u8(198); w.u8(51); w.u8(100);          // 198.51.100.0/24
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops, as4;
+  MpNlriScratch mp;
+  decode_path_attributes_into(r, attrs, false, hops, as4, &mp);
+  ASSERT_EQ(mp.announced.size(), 1u);
+  EXPECT_EQ(mp.announced[0], net::Prefix::must_parse("198.51.100.0/24"));
+}
+
+TEST(LabeledVpnCodecTest, WithdrawCompatLabelTerminatesTheStack) {
+  // RFC 8277 §2.4: a withdraw's label field is 0x800000 — bottom-of-
+  // stack CLEAR, so only the compat-value check can terminate the walk.
+  ByteWriter w;
+  w.u8(0x80);  // optional
+  w.u8(15);    // MP_UNREACH_NLRI
+  w.u8(3 + 1 + 3 + 8 + 3);
+  w.u16(1);    // AFI: IPv4
+  w.u8(128);   // SAFI: labeled VPN
+  w.u8(24 + 64 + 24);
+  w.u8(0x80); w.u8(0x00); w.u8(0x00);  // the compat label
+  for (int i = 0; i < 8; ++i) w.u8(0);
+  w.u8(203); w.u8(0); w.u8(113);  // 203.0.113.0/24
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops, as4;
+  MpNlriScratch mp;
+  decode_path_attributes_into(r, attrs, false, hops, as4, &mp);
+  ASSERT_EQ(mp.withdrawn.size(), 1u);
+  EXPECT_EQ(mp.withdrawn[0], net::Prefix::must_parse("203.0.113.0/24"));
+}
+
+TEST(LabeledVpnCodecTest, MalformedLabeledNlriRejected) {
+  // An NLRI length that cannot hold a label-stack entry (16 bits), and
+  // one that holds a label but not the RD (24+32 bits), must both fail
+  // cleanly — DecodeError, not a garbage prefix.
+  for (const std::uint8_t bits : {std::uint8_t{16}, std::uint8_t{56}}) {
+    ByteWriter w;
+    w.u8(0x80);
+    w.u8(15);  // MP_UNREACH_NLRI
+    w.u8(static_cast<std::uint8_t>(3 + 1 + (bits + 7) / 8));
+    w.u16(1);
+    w.u8(128);
+    w.u8(bits);
+    for (int i = 0; i < (bits + 7) / 8; ++i) w.u8(0x05);
+    ByteReader r(w.data());
+    bgp::PathAttributes attrs;
+    std::vector<bgp::Asn> hops, as4;
+    MpNlriScratch mp;
+    EXPECT_THROW(decode_path_attributes_into(r, attrs, false, hops, as4, &mp),
+                 DecodeError)
+        << "bits=" << int(bits);
+  }
+}
+
+TEST(LabeledVpnCodecTest, BadLabeledNextHopLengthRejected) {
+  // SAFI 128 next hops are RD-prefixed: a bare 4-byte v4 next hop under
+  // the labeled SAFI is malformed.
+  ByteWriter w;
+  w.u8(0x80);
+  w.u8(14);  // MP_REACH_NLRI
+  w.u8(3 + 1 + 4 + 1);
+  w.u16(1);
+  w.u8(128);
+  w.u8(4);  // unicast-width next hop under SAFI 128
+  for (int i = 0; i < 4; ++i) w.u8(0x0A);
+  w.u8(0);
+  ByteReader r(w.data());
+  bgp::PathAttributes attrs;
+  std::vector<bgp::Asn> hops, as4;
+  MpNlriScratch mp;
+  EXPECT_THROW(decode_path_attributes_into(r, attrs, false, hops, as4, &mp),
+               DecodeError);
+}
+
+TEST(LabeledVpnCodecTest, EveryByteTruncationRejected) {
+  // The full truncation matrix over a labeled dual-stack update: every
+  // proper prefix of the message must throw, never mis-decode. (The BGP
+  // header's total-length field makes every cut detectable.)
+  UpdateEncodeOptions options;
+  options.mp_labeled_vpn = true;
+  const auto bytes = encode_bgp_update(dual_stack_update(), options);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteReader r(std::span(bytes.data(), cut));
+    EXPECT_THROW(decode_bgp_update(r, 1), DecodeError) << "cut=" << cut;
+  }
+}
+
 TEST(MpNlriCodecTest, AsSetSegmentThrowsUnsupportedRecord) {
   ByteWriter w;
   w.u8(0x40);  // transitive

@@ -566,6 +566,153 @@ TEST(ShardedDetectorTest, MetricsDoNotPerturbDeterminismMatrix) {
   }
 }
 
+TEST(ShardedDetectorTest, ReloadUnderLoadMatrixIsDeterministic) {
+  // Incremental reload mid-stream: swapping the ownership snapshot after
+  // K observations must (a) reproduce, at every point of the acceptance
+  // matrix, the N=1 inline reference that swaps at the same point, and
+  // (b) from the swap on, behave bit-identically to a FRESH run against
+  // the final config — no restart, no re-replay, no perturbation of
+  // in-flight batches.
+  const Config before = make_config();  // v1 single-operator (tenant 0)
+  // Final config: dedicated tenants for both prefixes (ids 1 and 2 — a
+  // fleet tenant occupies id 0 — so every post-swap alert key is
+  // tenant-scoped away from the pre-swap records), plus a newly
+  // onboarded prefix that was pure noise before the reload.
+  Config after;
+  after.add_tenant("fleet");
+  const auto acme = after.add_tenant("acme");
+  const auto globex = after.add_tenant("globex");
+  {
+    OwnedPrefix owned;
+    owned.prefix = net::Prefix::must_parse("10.0.0.0/23");
+    owned.legitimate_origins.insert(65001);
+    after.add_owned(acme, std::move(owned));
+    OwnedPrefix second;
+    second.prefix = net::Prefix::must_parse("192.0.2.0/24");
+    second.legitimate_origins.insert(65002);
+    after.add_owned(globex, std::move(second));
+    OwnedPrefix onboarded;
+    onboarded.prefix = net::Prefix::must_parse("203.0.113.0/24");
+    onboarded.legitimate_origins.insert(65003);
+    after.add_owned(acme, std::move(onboarded));
+  }
+  const auto after_table = after.build_table();
+
+  const auto stream = scenario_stream(29, 3000);
+  const std::size_t swap_at = stream.size() / 2;
+  const std::span<const Observation> head{stream.data(), swap_at};
+  const std::span<const Observation> tail{stream.data() + swap_at,
+                                          stream.size() - swap_at};
+
+  // Reference: the trivially correct single-shard inline reload.
+  ShardedDetectorOptions ref_options;
+  ref_options.shards = 1;
+  ShardedDetector reference(before, ref_options);
+  reference.submit_batch(head);
+  reference.reload(after_table);
+  reference.submit_batch(tail);
+  const auto ref_alerts = reference.merged_alerts();
+  ASSERT_GT(ref_alerts.size(), 0u);
+  // The reload demonstrably took effect: the onboarded tenant alerts.
+  ASSERT_TRUE(std::any_of(ref_alerts.begin(), ref_alerts.end(),
+                          [](const HijackAlert& a) {
+                            return a.tenant_name == "acme" &&
+                                   a.observed_prefix ==
+                                       net::Prefix::must_parse("203.0.113.0/24");
+                          }));
+
+  // (b): a fresh detector born on the final config, fed only the tail,
+  // must produce exactly the reference's post-swap (tenant != 0) alerts.
+  {
+    ShardedDetector fresh(after_table, ref_options);
+    fresh.submit_batch(tail);
+    const auto fresh_alerts = fresh.merged_alerts();
+    std::vector<HijackAlert> post_swap;
+    for (const auto& alert : ref_alerts) {
+      if (alert.tenant != core::kDefaultTenantId) post_swap.push_back(alert);
+    }
+    ASSERT_EQ(fresh_alerts.size(), post_swap.size());
+    for (std::size_t i = 0; i < post_swap.size(); ++i) {
+      expect_same_alert(fresh_alerts[i], post_swap[i]);
+      EXPECT_EQ(fresh_alerts[i].tenant, post_swap[i].tenant);
+      EXPECT_EQ(fresh_alerts[i].tenant_name, post_swap[i].tenant_name);
+    }
+  }
+
+  // (a): the matrix. Reload fires at the same stream position in every
+  // leg; threaded legs submit in uneven chunks so the swap lands with
+  // staged partials and in-flight ring batches to drain.
+  auto check = [&](ShardedDetector& other) {
+    EXPECT_EQ(other.observations_processed(), reference.observations_processed());
+    EXPECT_EQ(other.observations_matched(), reference.observations_matched());
+    const auto other_alerts = other.merged_alerts();
+    ASSERT_EQ(other_alerts.size(), ref_alerts.size());
+    for (std::size_t i = 0; i < ref_alerts.size(); ++i) {
+      expect_same_alert(other_alerts[i], ref_alerts[i]);
+      EXPECT_EQ(other_alerts[i].tenant, ref_alerts[i].tenant);
+      EXPECT_EQ(other_alerts[i].tenant_name, ref_alerts[i].tenant_name);
+    }
+  };
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    {
+      ShardedDetectorOptions options;
+      options.shards = shards;
+      ShardedDetector inline_run(before, options);
+      inline_run.submit_batch(head);
+      inline_run.reload(after_table);
+      EXPECT_EQ(inline_run.ownership().version(), after_table->version());
+      inline_run.submit_batch(tail);
+      check(inline_run);
+    }
+    for (const WaitPolicy policy : {WaitPolicy::kBusyPoll, WaitPolicy::kFutex}) {
+      ShardedDetectorOptions options;
+      options.shards = shards;
+      options.threaded = true;
+      options.wait_policy = policy;
+      options.queue_capacity = 256;
+      options.drain_batch = 32;
+      ShardedDetector threaded(before, options);
+      const auto feed = [&](std::span<const Observation> part) {
+        std::size_t i = 0;
+        for (std::size_t chunk = 1; i < part.size(); chunk = chunk % 97 + 13) {
+          const std::size_t n = std::min(chunk, part.size() - i);
+          threaded.submit_batch(part.subspan(i, n));
+          i += n;
+        }
+      };
+      feed(head);
+      threaded.reload(after_table);  // drains in-flight, then swaps
+      feed(tail);
+      threaded.flush();
+      check(threaded);
+      threaded.stop();
+      check(threaded);
+    }
+  }
+}
+
+TEST(ShardedDetectorTest, ReloadFromNonProducerThreadThrows) {
+  const Config config = make_config();
+  ShardedDetectorOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  ShardedDetector detector(config, options);
+  detector.submit(make_obs("10.0.0.0/23", {9, 666}, "ris-live", 100));
+  const auto table = config.build_table();
+  std::exception_ptr thrown;
+  std::thread([&] {
+    try {
+      detector.reload(table);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+  }).join();
+  EXPECT_TRUE(thrown != nullptr);
+  detector.flush();
+  detector.stop();
+}
+
 TEST(ShardedDetectorTest, FlushFromNonProducerThreadThrows) {
   // flush() waits for the workers by spinning on the producer's own
   // counters; calling it from a second thread would race the (single)

@@ -43,10 +43,16 @@
 //                       snapshot cadence for --metrics-snapshot
 //                       (default 1000)
 //   --detect CONFIG     run live detection on the ingest stream: CONFIG
-//                       is an owned-prefix config JSON (README schema).
+//                       is an ownership config JSON (schema v1 or the
+//                       multi-tenant v2 "tenants" form, README schema).
 //                       The detector taps exactly the journaled spans, so
 //                       in a clean run its alerts match a later journal
 //                       replay. Alert lines go to stderr ("alert: ...").
+//                       SIGHUP re-reads CONFIG and swaps the ownership
+//                       table in at the next batch boundary — incremental
+//                       reload, no restart, no re-replay; a config that
+//                       fails to parse is logged and the previous table
+//                       stays live (see docs/operations.md).
 //   --detect-shards N   detection shard count (default 1), with --detect
 //   --detect-threaded   one worker thread per shard (batch-granular ring
 //                       handoff); the ingest thread is the sole producer
@@ -56,6 +62,7 @@
 // Exit status: 0 every URL ingested clean, 3 partial (some URL failed or
 // tore mid-archive; everything recovered IS in the journal), 1 hard error
 // (unwritable journal, corrupt cursor), 2 usage error.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +84,22 @@ namespace {
 // mid-parse) can honor --stats-json with a minimal machine-readable
 // post-mortem on stdout.
 bool g_stats_json_on_error = false;
+
+// SIGHUP = reload the --detect ownership config. The handler only sets
+// the flag; the ingest thread (the detector's single producer) notices
+// it at the next batch boundary and performs the swap there, so the
+// reload never races a batch in flight.
+volatile std::sig_atomic_t g_reload_requested = 0;
+void request_reload(int) { g_reload_requested = 1; }
+
+/// Reads and parses the ownership config file; throws on any failure.
+artemis::core::Config load_detect_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return artemis::core::Config::from_json_text(buffer.str());
+}
 
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
@@ -242,22 +265,44 @@ int main(int argc, char** argv) {
     // Live detection tap: built before the supervisor so the pipeline
     // options carry the bound handler. The ingest thread is the single
     // producer the threaded detector requires.
-    std::unique_ptr<core::Config> detect_config;
     std::unique_ptr<pipeline::ShardedDetector> detector;
     if (!detect_config_path.empty()) {
-      std::ifstream in(detect_config_path);
-      if (!in) {
-        std::fprintf(stderr, "error: cannot open %s\n", detect_config_path.c_str());
+      core::Config detect_config;
+      try {
+        detect_config = load_detect_config(detect_config_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: --detect %s: %s\n", detect_config_path.c_str(),
+                     e.what());
         return 1;
       }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      detect_config =
-          std::make_unique<core::Config>(core::Config::from_json_text(buffer.str()));
-      detector =
-          std::make_unique<pipeline::ShardedDetector>(*detect_config, detect_options);
+      detector = std::make_unique<pipeline::ShardedDetector>(
+          detect_config.build_table(), detect_options);
+      // Incremental reload: SIGHUP re-reads the config file and swaps
+      // the ownership snapshot in on the producer thread, at a batch
+      // boundary. A bad config keeps the previous table live — an
+      // operator typo must never take detection down.
+      std::signal(SIGHUP, request_reload);
       options.pipeline.detection_tap =
-          [d = detector.get()](std::span<const feeds::Observation> batch) {
+          [d = detector.get(),
+           path = detect_config_path](std::span<const feeds::Observation> batch) {
+            if (g_reload_requested != 0) {
+              g_reload_requested = 0;
+              try {
+                auto table = load_detect_config(path).build_table();
+                const std::size_t owned = table->owned().size();
+                const std::size_t tenants = table->tenants().size();
+                d->reload(std::move(table));
+                std::fprintf(stderr,
+                             "reload: ownership config %s applied "
+                             "(%zu prefixes, %zu tenants)\n",
+                             path.c_str(), owned, tenants);
+              } catch (const std::exception& e) {
+                std::fprintf(stderr,
+                             "warning: reload of %s failed, keeping previous "
+                             "ownership: %s\n",
+                             path.c_str(), e.what());
+              }
+            }
             d->submit_batch(batch);
           };
     }

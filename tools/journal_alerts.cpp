@@ -9,12 +9,16 @@
 // window with mrt2journal, then ask "which of MY prefixes were hijacked
 // in this window?" without writing a scenario file.
 //
-// Usage: journal_alerts --journal DIR --owned PREFIX=ASN[,ASN...]
-//                       [--owned ...] [--shards N]
+// Usage: journal_alerts --journal DIR (--owned SPEC | --config FILE)
+//                       [--shards N] [...]
 //   --journal DIR   journal directory (mrt2journal / scenario_runner)
 //   --owned SPEC    an owned prefix and its legitimate origin ASNs,
 //                   e.g. 10.0.0.0/23=65001 or 2001:db8::/32=65003,65004
-//                   (repeatable; at least one required)
+//                   (repeatable)
+//   --config FILE   ownership config JSON (schema v1 or the multi-tenant
+//                   v2 "tenants" form). Combines with --owned: the flag
+//                   prefixes join the config's default tenant. At least
+//                   one of --owned/--config is required.
 //   --shards N      detection shard count (default 1). Output is
 //                   bit-identical for every N — that is the point.
 //   --threaded      one worker thread per shard (batch-granular ring
@@ -23,6 +27,20 @@
 //                   against the same golden file.
 //   --wait-policy P busy_poll (default) or futex, with --threaded
 //   --pin           pin shard workers to consecutive CPUs, with --threaded
+//   --since-us N    only replay records with event time >= N sim-micros
+//   --until-us N    only replay records with event time <= N sim-micros
+//   --no-prune      do not project the owned prefixes into the journal
+//                   read filter (scan every segment)
+//
+// Footer-accelerated forensics: by default the owned prefixes are
+// projected into the journal QueryFilter as an any-overlap term, so the
+// reader's .ajx footers prune segments that provably never mention owned
+// space — a month of archive with one hijacked afternoon decodes only
+// the afternoon. The projection cannot change the alert list (an alert
+// REQUIRES an overlapping owned prefix; without a ROA table non-
+// overlapping observations are unclassifiable), which is why it is safe
+// to have on by default; --since/--until genuinely restrict the window.
+// The scan/skip counters go to stderr and are asserted by the CI gate.
 //
 // Output: one canonical HijackAlert::to_string() line per merged alert
 // (sorted by detected_at, type, prefix, offender), then nothing else on
@@ -31,6 +49,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,10 +66,20 @@ namespace {
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
   std::fprintf(stderr,
-               "usage: journal_alerts --journal DIR --owned PREFIX=ASN[,ASN...] "
-               "[--owned ...] [--shards N] [--threaded "
-               "[--wait-policy busy_poll|futex] [--pin]]\n");
+               "usage: journal_alerts --journal DIR (--owned PREFIX=ASN[,ASN...] "
+               "| --config FILE) [--owned ...] [--shards N] [--threaded "
+               "[--wait-policy busy_poll|futex] [--pin]] "
+               "[--since-us N] [--until-us N] [--no-prune]\n");
   std::exit(2);
+}
+
+std::int64_t parse_micros(const char* text, const char* flag) {
+  char* rest = nullptr;
+  const long long value = std::strtoll(text, &rest, 10);
+  if (rest == text || *rest != '\0') {
+    usage_error((std::string(flag) + " needs an integer (sim micros)").c_str());
+  }
+  return static_cast<std::int64_t>(value);
 }
 
 /// Parses "10.0.0.0/23=65001,65002" into an OwnedPrefix.
@@ -90,13 +121,16 @@ int main(int argc, char** argv) {
   using namespace artemis;
 
   std::string journal_dir;
-  core::Config config;
+  std::string config_path;
+  std::vector<core::OwnedPrefix> owned_flags;
   std::size_t shards = 1;
   bool threaded = false;
   bool pin = false;
+  bool prune = true;
+  std::int64_t since_us = std::numeric_limits<std::int64_t>::min();
+  std::int64_t until_us = std::numeric_limits<std::int64_t>::max();
   pipeline::WaitPolicy wait_policy = pipeline::WaitPolicy::kBusyPoll;
   bool wait_policy_given = false;
-  bool any_owned = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -107,8 +141,15 @@ int main(int argc, char** argv) {
     if (arg == "--journal") {
       journal_dir = flag_value("--journal");
     } else if (arg == "--owned") {
-      config.add_owned(parse_owned(flag_value("--owned")));
-      any_owned = true;
+      owned_flags.push_back(parse_owned(flag_value("--owned")));
+    } else if (arg == "--config") {
+      config_path = flag_value("--config");
+    } else if (arg == "--since-us") {
+      since_us = parse_micros(flag_value("--since-us"), "--since-us");
+    } else if (arg == "--until-us") {
+      until_us = parse_micros(flag_value("--until-us"), "--until-us");
+    } else if (arg == "--no-prune") {
+      prune = false;
     } else if (arg == "--shards") {
       const char* text = flag_value("--shards");
       char* rest = nullptr;
@@ -131,12 +172,27 @@ int main(int argc, char** argv) {
     }
   }
   if (journal_dir.empty()) usage_error("--journal DIR is required");
-  if (!any_owned) usage_error("at least one --owned PREFIX=ASN is required");
+  if (owned_flags.empty() && config_path.empty()) {
+    usage_error("at least one --owned PREFIX=ASN or a --config FILE is required");
+  }
   if ((wait_policy_given || pin) && !threaded) {
     usage_error("--wait-policy/--pin require --threaded");
   }
 
   try {
+    core::Config config;
+    if (!config_path.empty()) {
+      std::ifstream in(config_path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open --config " + config_path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      config = core::Config::from_json_text(text.str());
+    }
+    for (auto& owned : owned_flags) config.add_owned(std::move(owned));
+    if (config.owns_nothing()) {
+      usage_error("the ownership config lists no prefixes");
+    }
+
     pipeline::ShardedDetectorOptions options;
     options.shards = shards;
     options.threaded = threaded;
@@ -147,10 +203,31 @@ int main(int argc, char** argv) {
     detector.attach(hub);
 
     journal::JournalReader reader(journal_dir);
-    journal::ReplayFeed feed(reader);
+    journal::ReplayOptions replay_options;
+    replay_options.filter.min_event_us = since_us;
+    replay_options.filter.max_event_us = until_us;
+    if (prune) {
+      // The ownership projection: segments whose footer proves no owned
+      // overlap are skipped without decoding. Alert-preserving (see the
+      // header comment), so it is on unless --no-prune.
+      for (const auto& owned : detector.ownership().owned()) {
+        replay_options.filter.any_prefixes.push_back(owned.prefix);
+      }
+    }
+    const bool filtered = !replay_options.filter.is_trivial();
+    journal::ReplayFeed feed(reader, replay_options);
     const std::uint64_t replayed = feed.replay_all(hub);
     if (reader.truncated_tail()) {
       std::fprintf(stderr, "warning: journal has a truncated tail record\n");
+    }
+    if (filtered) {
+      std::fprintf(stderr,
+                   "index: scanned %llu/%zu segment(s) (%llu skipped via index); "
+                   "%llu record(s) decoded\n",
+                   static_cast<unsigned long long>(reader.segments_scanned()),
+                   reader.segment_count(),
+                   static_cast<unsigned long long>(reader.segments_skipped()),
+                   static_cast<unsigned long long>(reader.records_scanned()));
     }
 
     // Threaded: barrier before reading merged state.
